@@ -1,0 +1,295 @@
+// Package c4 is a from-scratch Go reproduction of "Enhancing Large-Scale
+// AI Training Efficiency: The C4 Solution for Real-Time Anomaly Detection
+// and Communication Optimization" (Dong et al., Alibaba, HPCA 2025,
+// arXiv:2406.04594).
+//
+// It contains the paper's two contributions and every substrate they run
+// on, all simulated deterministically on a laptop:
+//
+//   - C4D — real-time fault detection: instrumented collective library
+//     (accl), per-worker agents and a central master (c4d) that localize
+//     hangs, slow connections/NICs and stragglers from transport timing,
+//     plus the job steering service (steering) that isolates nodes and
+//     restarts jobs from spares.
+//   - C4P — cluster-scale traffic engineering (c4p): path probing, QP
+//     placement across spines and bonded ports, and dynamic load balance
+//     under link failures.
+//   - Substrates: a discrete-event engine (sim), a dual-plane leaf/spine
+//     Clos fabric (topo), a max-min-fair flow-level network simulator with
+//     ECMP and CNP modeling (netsim), a hardware fault model (cluster),
+//     and a distributed-training job model (job, workload).
+//
+// The harness package reproduces every table and figure of the paper's
+// evaluation; see EXPERIMENTS.md for paper-vs-measured numbers. This
+// package re-exports the main entry points so downstream users can build
+// their own scenarios without spelunking the internal tree:
+//
+//	env := c4.NewEnv(c4.PaperTestbed())
+//	prov := env.NewProvider(c4.C4PStatic, 1)
+//	comm, _ := c4.NewCommunicator(c4.CommConfig{
+//	    Engine: env.Eng, Net: env.Net, Provider: prov,
+//	}, []int{0, 2, 4, 6})
+//	comm.AllReduce(256<<20, nil, func(r c4.CollResult) {
+//	    fmt.Printf("busbw %.1f Gbps\n", r.BusGbps)
+//	})
+//	env.Eng.Run()
+package c4
+
+import (
+	"c4/internal/accl"
+	"c4/internal/c4d"
+	"c4/internal/c4p"
+	"c4/internal/ckpt"
+	"c4/internal/cluster"
+	"c4/internal/harness"
+	"c4/internal/job"
+	"c4/internal/netsim"
+	"c4/internal/rca"
+	"c4/internal/sched"
+	"c4/internal/sim"
+	"c4/internal/steering"
+	"c4/internal/topo"
+	"c4/internal/workload"
+)
+
+// Simulation core.
+type (
+	// Engine is the deterministic discrete-event simulator.
+	Engine = sim.Engine
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// Rand is the seeded random source all stochastic components use.
+	Rand = sim.Rand
+)
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return sim.NewEngine() }
+
+// NewRand returns a deterministic random source.
+func NewRand(seed int64) *Rand { return sim.NewRand(seed) }
+
+// Re-exported time units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+	Day         = sim.Day
+)
+
+// Fabric and network.
+type (
+	// ClusterSpec describes a fabric to build.
+	ClusterSpec = topo.Spec
+	// Topology is a built fabric.
+	Topology = topo.Topology
+	// Network is the flow-level fluid simulator.
+	Network = netsim.Network
+	// NetConfig tunes the network simulator.
+	NetConfig = netsim.Config
+)
+
+// PaperTestbed is the paper's Table II testbed (16 nodes × 8 H800 GPUs,
+// dual-port 200 Gbps NICs, 1:1 fat-tree).
+func PaperTestbed() ClusterSpec { return topo.PaperTestbed() }
+
+// MultiJobTestbed is the fabric of Figs 10–13; spines=8 gives 1:1
+// oversubscription, 4 gives 2:1.
+func MultiJobTestbed(spines int) ClusterSpec { return topo.MultiJobTestbed(spines) }
+
+// NewTopology builds a fabric.
+func NewTopology(spec ClusterSpec) (*Topology, error) { return topo.New(spec) }
+
+// NewNetwork creates the fluid network simulator.
+func NewNetwork(eng *Engine, t *Topology, cfg NetConfig) *Network {
+	return netsim.New(eng, t, cfg)
+}
+
+// DefaultNetConfig is the calibration used throughout the repository.
+func DefaultNetConfig() NetConfig { return netsim.DefaultConfig() }
+
+// Collective communication (ACCL).
+type (
+	// CommConfig wires a communicator to the fabric.
+	CommConfig = accl.Config
+	// Communicator executes collectives among nodes.
+	Communicator = accl.Communicator
+	// CollResult summarizes a completed collective.
+	CollResult = accl.Result
+	// PathProvider decides each QP's route.
+	PathProvider = accl.PathProvider
+	// StatsSink receives ACCL monitoring records.
+	StatsSink = accl.StatsSink
+	// StatsRecorder is an in-memory StatsSink.
+	StatsRecorder = accl.Recorder
+)
+
+// NewCommunicator opens a communicator over the given nodes.
+func NewCommunicator(cfg CommConfig, nodes []int) (*Communicator, error) {
+	return accl.NewCommunicator(cfg, nodes)
+}
+
+// NewECMPProvider is the uncoordinated hashing baseline.
+func NewECMPProvider(t *Topology, r *Rand) PathProvider {
+	return accl.NewECMPProvider(t, r)
+}
+
+// C4P traffic engineering.
+type (
+	// C4PMaster is the cluster-scale traffic-engineering control plane.
+	C4PMaster = c4p.Master
+	// C4PMode selects the failure-response policy.
+	C4PMode = c4p.Mode
+)
+
+// C4P failure-response policies.
+const (
+	// C4PStaticMode plans at connect time only.
+	C4PStaticMode = c4p.Static
+	// C4PDynamicMode adds reallocation and load balance on failures.
+	C4PDynamicMode = c4p.Dynamic
+)
+
+// NewC4PMaster creates a C4P master for the fabric.
+func NewC4PMaster(t *Topology, mode C4PMode, r *Rand) *C4PMaster {
+	return c4p.NewMaster(t, mode, r)
+}
+
+// C4D fault detection.
+type (
+	// C4DConfig tunes the detectors.
+	C4DConfig = c4d.Config
+	// C4DMaster is the central analyzer.
+	C4DMaster = c4d.Master
+	// C4DFleet is the per-worker agent fleet (an accl.StatsSink).
+	C4DFleet = c4d.Fleet
+	// C4DEvent is one finding.
+	C4DEvent = c4d.Event
+	// Syndrome classifies a finding.
+	Syndrome = c4d.Syndrome
+)
+
+// Syndromes of §III-A.
+const (
+	CommHang    = c4d.CommHang
+	NonCommHang = c4d.NonCommHang
+	CommSlow    = c4d.CommSlow
+	NonCommSlow = c4d.NonCommSlow
+)
+
+// NewC4DMaster creates a C4D master.
+func NewC4DMaster(cfg C4DConfig) *C4DMaster { return c4d.NewMaster(cfg) }
+
+// NewC4DFleet creates the agent fleet and starts its reporting loop.
+func NewC4DFleet(eng *Engine, m *C4DMaster) *C4DFleet { return c4d.NewFleet(eng, m) }
+
+// Jobs, workloads and recovery.
+type (
+	// JobConfig wires a training job to the cluster.
+	JobConfig = job.Config
+	// Job is a running training job.
+	Job = job.Job
+	// JobReport summarizes a run.
+	JobReport = job.Report
+	// JobSpec is a training workload.
+	JobSpec = workload.JobSpec
+	// Model is an LLM configuration.
+	Model = workload.Model
+	// Parallelism is a TP/PP/DP/GA strategy.
+	Parallelism = workload.Parallelism
+	// Machines is the compute fleet plus backup pool.
+	Machines = cluster.Cluster
+	// Fault is an injected hardware/software event.
+	Fault = cluster.Fault
+	// FaultInjector draws Table-I-distributed fault arrivals.
+	FaultInjector = cluster.Injector
+	// SteeringService is the isolate-and-restart pipeline.
+	SteeringService = steering.Service
+)
+
+// Paper models.
+var (
+	GPT22B   = workload.GPT22B
+	GPT175B  = workload.GPT175B
+	Llama7B  = workload.Llama7B
+	Llama13B = workload.Llama13B
+)
+
+// NewJob opens a training job.
+func NewJob(cfg JobConfig) (*Job, error) { return job.New(cfg) }
+
+// NewMachines builds n machines with g GPUs each plus spares.
+func NewMachines(n, g, spares int) *Machines { return cluster.NewCluster(n, g, spares) }
+
+// NewSteeringService creates the recovery pipeline.
+func NewSteeringService(cfg steering.Config) *SteeringService { return steering.NewService(cfg) }
+
+// Operational subsystems around the core loop.
+type (
+	// CheckpointManager is the Gemini-style two-tier snapshot manager.
+	CheckpointManager = ckpt.Manager
+	// CheckpointConfig tunes checkpointing cadence and persistence.
+	CheckpointConfig = ckpt.Config
+	// RCAnalyzer is the background root-cause analysis service (Fig 4).
+	RCAnalyzer = rca.Analyzer
+	// Telemetry is one server/network-monitor observation for RCA.
+	Telemetry = rca.Telemetry
+	// Scheduler is the topology-aware node allocator (§III-B).
+	Scheduler = sched.Scheduler
+)
+
+// NewCheckpointManager creates a checkpoint manager on the engine.
+func NewCheckpointManager(eng *Engine, cfg CheckpointConfig) *CheckpointManager {
+	return ckpt.NewManager(eng, cfg)
+}
+
+// NewRCAnalyzer creates a root-cause analyzer with the given correlation
+// window (0 = default 5 minutes).
+func NewRCAnalyzer(window Time) *RCAnalyzer { return rca.NewAnalyzer(window) }
+
+// NewScheduler creates a topology-aware scheduler over the fabric.
+func NewScheduler(t *Topology) *Scheduler { return sched.New(t) }
+
+// Experiment harness: one runner per paper table/figure. Each result has
+// String() and CheckShape().
+type (
+	// Env is one simulated cluster instance for experiments.
+	Env = harness.Env
+	// ProviderKind selects the path-control policy under test.
+	ProviderKind = harness.ProviderKind
+)
+
+// Path-control policies compared in the evaluation.
+const (
+	BaselineECMP = harness.Baseline
+	C4PStatic    = harness.C4PStatic
+	C4PDynamic   = harness.C4PDynamic
+)
+
+// NewEnv builds an experiment environment.
+func NewEnv(spec ClusterSpec) *Env { return harness.NewEnv(spec) }
+
+// Experiment runners (see EXPERIMENTS.md for the index).
+var (
+	RunTableI   = harness.RunTableI
+	RunTableIII = harness.RunTableIII
+	RunFig3     = harness.RunFig3
+	RunFig9     = harness.RunFig9
+	RunFig10    = harness.RunFig10
+	RunFig11    = harness.RunFig11
+	RunFig12    = harness.RunFig12
+	RunFig13    = harness.RunFig13
+	RunFig14    = harness.RunFig14
+	RunPipeline = harness.RunPipeline
+)
+
+// Ablation studies (design-choice isolation; see DESIGN.md §6).
+var (
+	RunPlaneRuleAblation = harness.RunPlaneRuleAblation
+	RunAlgoCrossover     = harness.RunAlgoCrossover
+	RunCkptSweep         = harness.RunCkptSweep
+	RunKappaSweep        = harness.RunKappaSweep
+	RunQPSweep           = harness.RunQPSweep
+)

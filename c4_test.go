@@ -1,0 +1,144 @@
+package c4
+
+// End-to-end tests through the public facade: everything a downstream user
+// touches must work without reaching into internal packages.
+
+import (
+	"testing"
+)
+
+func TestFacadeAllReduceECMPvsC4P(t *testing.T) {
+	run := func(kind ProviderKind) float64 {
+		env := NewEnv(MultiJobTestbed(8))
+		comm, err := NewCommunicator(CommConfig{
+			Engine: env.Eng, Net: env.Net, Provider: env.NewProvider(kind, 1),
+		}, []int{0, 8, 1, 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var busbw float64
+		comm.AllReduce(256<<20, nil, func(r CollResult) { busbw = r.BusGbps })
+		env.Eng.Run()
+		return busbw
+	}
+	base, planned := run(BaselineECMP), run(C4PStatic)
+	if planned < 330 {
+		t.Fatalf("C4P busbw = %.1f, want ≈362", planned)
+	}
+	if base >= planned {
+		t.Fatalf("baseline (%.1f) should trail C4P (%.1f)", base, planned)
+	}
+}
+
+func TestFacadeC4DPipeline(t *testing.T) {
+	env := NewEnv(PaperTestbed())
+	master := NewC4DMaster(C4DConfig{})
+	fleet := NewC4DFleet(env.Eng, master)
+	var events []C4DEvent
+	master.Subscribe(func(ev C4DEvent) { events = append(events, ev) })
+
+	comm, err := NewCommunicator(CommConfig{
+		Engine: env.Eng, Net: env.Net,
+		Provider: NewC4PMaster(env.Topo, C4PStaticMode, NewRand(1)),
+		Sink:     fleet,
+	}, []int{0, 2, 4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var iterate func()
+	iterate = func() {
+		comm.AllReduce(64<<20, nil, func(CollResult) { iterate() })
+	}
+	iterate()
+	env.Eng.Schedule(10*Second, func() { comm.SetCrashed(4, true) })
+	env.Eng.RunUntil(2 * Minute)
+	fleet.Stop()
+
+	if len(events) == 0 {
+		t.Fatal("no C4D events through the facade")
+	}
+	if events[0].Syndrome != NonCommHang || events[0].Node != 4 {
+		t.Fatalf("first event = %v, want non-comm-hang node 4", events[0])
+	}
+}
+
+func TestFacadeJobAndWorkloads(t *testing.T) {
+	env := NewEnv(MultiJobTestbed(8))
+	spec := JobSpec{
+		Name:                 "facade-test",
+		Model:                GPT22B,
+		Par:                  Parallelism{TP: 8, DP: 4, GA: 1},
+		Nodes:                []int{0, 8, 1, 9},
+		ComputePerMicroBatch: 300 * Millisecond,
+		SamplesPerIter:       16,
+	}
+	j, err := NewJob(JobConfig{
+		Engine: env.Eng, Net: env.Net,
+		Provider: env.NewProvider(C4PStatic, 1),
+		Rails:    []int{0}, Spec: spec, Rand: NewRand(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep JobReport
+	j.Run(3, func(r JobReport) { rep = r })
+	env.Eng.Run()
+	if rep.Iters != 3 || rep.SamplesPerSec <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestFacadeOperationalSubsystems(t *testing.T) {
+	env := NewEnv(MultiJobTestbed(8))
+
+	// Scheduler packs a leaf group.
+	sc := NewScheduler(env.Topo)
+	nodes, err := sc.Allocate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := env.Topo.Group(nodes[0])
+	for _, n := range nodes {
+		if env.Topo.Group(n) != g {
+			t.Fatalf("allocation spans groups: %v", nodes)
+		}
+	}
+
+	// Checkpoint manager bounds lost work.
+	cm := NewCheckpointManager(env.Eng, CheckpointConfig{Interval: 5})
+	for i := 1; i <= 17; i++ {
+		cm.OnIteration(i, []int{0, 1})
+	}
+	if lost := cm.LostIterations(17, 0); lost != 2 {
+		t.Fatalf("lost = %d, want 2", lost)
+	}
+
+	// RCA turns telemetry into a ranked cause.
+	an := NewRCAnalyzer(0)
+	an.Observe(Telemetry{Time: Minute, Kind: 1 /* ECC */, Node: 3})
+	rep := an.Classify(C4DEvent{Time: 2 * Minute, Syndrome: NonCommHang, Node: 3, Peer: -1})
+	if rep.Top().Confidence <= 0 {
+		t.Fatalf("rca report = %v", rep)
+	}
+
+	// Fault injector and machines.
+	inj := NewMachines(4, 8, 2)
+	if inj.SpareCount() != 2 {
+		t.Fatal("machines facade broken")
+	}
+}
+
+func TestFacadeExperimentRunners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment runners covered in internal/harness")
+	}
+	// One cheap runner end-to-end through the facade.
+	r := RunTableI(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+	k := RunKappaSweep(1)
+	if err := k.CheckShape(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Command c4bench runs the full C4 evaluation harness: every table and
+// figure of the paper, printed with shape-check verdicts.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"c4/internal/harness"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	only := flag.String("only", "", "run a single experiment (tableI, tableIII, fig3, fig9, fig10, fig11, fig12, fig13, fig14)")
+	flag.Parse()
+
+	type exp struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	check := func(s interface {
+		fmt.Stringer
+		CheckShape() error
+	}) (fmt.Stringer, error) {
+		return s, s.CheckShape()
+	}
+	exps := []exp{
+		{"tableI", func() (fmt.Stringer, error) { return check(harness.RunTableI(*seed)) }},
+		{"tableIII", func() (fmt.Stringer, error) { return check(harness.RunTableIII(*seed)) }},
+		{"fig3", func() (fmt.Stringer, error) { return check(harness.RunFig3(*seed)) }},
+		{"fig9", func() (fmt.Stringer, error) { return check(harness.RunFig9(*seed)) }},
+		{"fig10a", func() (fmt.Stringer, error) { return check(harness.RunFig10(*seed, 8)) }},
+		{"fig10b", func() (fmt.Stringer, error) { return check(harness.RunFig10(*seed, 4)) }},
+		{"fig11", func() (fmt.Stringer, error) { return check(harness.RunFig11(*seed)) }},
+		{"fig12", func() (fmt.Stringer, error) { return check(harness.RunFig12(*seed)) }},
+		{"fig13", func() (fmt.Stringer, error) { return check(harness.RunFig13(*seed)) }},
+		{"fig14", func() (fmt.Stringer, error) { return check(harness.RunFig14(*seed)) }},
+		{"pipeline", func() (fmt.Stringer, error) { return check(harness.RunPipeline(*seed)) }},
+		{"ablation-plane", func() (fmt.Stringer, error) { return check(harness.RunPlaneRuleAblation(*seed)) }},
+		{"ablation-algo", func() (fmt.Stringer, error) { return check(harness.RunAlgoCrossover(*seed)) }},
+		{"ablation-ckpt", func() (fmt.Stringer, error) { return check(harness.RunCkptSweep(*seed)) }},
+		{"ablation-kappa", func() (fmt.Stringer, error) { return check(harness.RunKappaSweep(*seed)) }},
+		{"ablation-qp", func() (fmt.Stringer, error) { return check(harness.RunQPSweep(*seed)) }},
+	}
+	failures := 0
+	for _, e := range exps {
+		if *only != "" && *only != e.name && !(len(*only) >= 5 && e.name[:min(len(e.name), len(*only))] == *only) {
+			continue
+		}
+		res, err := e.run()
+		fmt.Println("==============================================")
+		fmt.Println(res)
+		if err != nil {
+			failures++
+			fmt.Printf("SHAPE CHECK FAILED: %v\n", err)
+		} else {
+			fmt.Println("shape check: OK")
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("\n%d experiment(s) failed shape checks\n", failures)
+	}
+}

@@ -1,0 +1,214 @@
+// Command c4sim runs an end-to-end training scenario on the simulated
+// cluster: a distributed job under C4D monitoring and C4P traffic
+// engineering, with an injectable fault, driving the full detect ->
+// isolate -> restart loop and printing the timeline.
+//
+// Example:
+//
+//	c4sim -job gpt22b -fault crash -fault-at 30s
+//	c4sim -job llama7b -fault straggler -horizon 10m
+//	c4sim -job gpt22b -fault nic -no-c4d   # watch the job hang without C4D
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"c4/internal/c4d"
+	"c4/internal/cluster"
+	"c4/internal/harness"
+	"c4/internal/job"
+	"c4/internal/rca"
+	"c4/internal/sched"
+	"c4/internal/sim"
+	"c4/internal/steering"
+	"c4/internal/topo"
+	"c4/internal/workload"
+)
+
+func main() {
+	var (
+		jobName   = flag.String("job", "gpt22b", "workload: gpt22b | llama7b | gpt175b")
+		provider  = flag.String("provider", "c4p", "path control: baseline | c4p | c4p-dynamic")
+		fault     = flag.String("fault", "none", "inject: none | crash | straggler | nic")
+		faultAt   = flag.Duration("fault-at", 30*time.Second, "fault injection time")
+		victim    = flag.Int("victim", 6, "faulty node")
+		horizon   = flag.Duration("horizon", 15*time.Minute, "virtual time to simulate")
+		noC4D     = flag.Bool("no-c4d", false, "disable C4D monitoring and recovery")
+		placement = flag.String("placement", "spread", "node placement: topo (pack leaf groups) | spread (maximize spine traffic)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	spec := topo.MultiJobTestbed(8)
+	spec.Nodes = 24 // 16 primaries + 8 spares
+	env := harness.NewEnv(spec)
+	machines := cluster.NewCluster(16, 8, 8)
+
+	var kind harness.ProviderKind
+	switch *provider {
+	case "baseline":
+		kind = harness.Baseline
+	case "c4p":
+		kind = harness.C4PStatic
+	case "c4p-dynamic":
+		kind = harness.C4PDynamic
+	default:
+		fmt.Fprintf(os.Stderr, "c4sim: unknown provider %q\n", *provider)
+		os.Exit(2)
+	}
+
+	var nodes []int
+	switch *placement {
+	case "topo":
+		// Topology-aware placement (§III-B): pack leaf groups so ring
+		// edges avoid the spine layer entirely where possible.
+		sc := sched.New(env.Topo)
+		alloc, err := sc.Allocate(16)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+			os.Exit(1)
+		}
+		nodes = sched.RingOrder(env.Topo, alloc)
+	case "spread":
+		// Worst-case placement: every ring edge crosses the spines.
+		for i := 0; i < 16; i++ {
+			if i%2 == 0 {
+				nodes = append(nodes, i/2)
+			} else {
+				nodes = append(nodes, 8+i/2)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "c4sim: unknown placement %q\n", *placement)
+		os.Exit(2)
+	}
+	specs := workload.Fig14Jobs(nodes)
+	var jobSpec workload.JobSpec
+	switch *jobName {
+	case "gpt22b":
+		jobSpec = specs[0]
+	case "llama7b":
+		jobSpec = specs[1]
+	case "gpt175b":
+		jobSpec = specs[2]
+	default:
+		fmt.Fprintf(os.Stderr, "c4sim: unknown job %q\n", *jobName)
+		os.Exit(2)
+	}
+
+	logf := func(format string, args ...any) {
+		fmt.Printf("[%12v] ", env.Eng.Now())
+		fmt.Printf(format+"\n", args...)
+	}
+
+	analyzer := rca.NewAnalyzer(0)
+	var fleet *c4d.Fleet
+	var master *c4d.Master
+	jobCfg := job.Config{
+		Engine: env.Eng, Net: env.Net,
+		Provider:   env.NewProvider(kind, *seed),
+		Rails:      []int{0},
+		Spec:       jobSpec,
+		Rand:       sim.NewRand(*seed),
+		QPsPerConn: 4,
+	}
+	if !*noC4D {
+		master = c4d.NewMaster(c4d.Config{})
+		fleet = c4d.NewFleet(env.Eng, master)
+		jobCfg.Sink = fleet
+	}
+	j, err := job.New(jobCfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+		os.Exit(1)
+	}
+	j.OnIteration(func(i int, d sim.Time) {
+		if i%20 == 0 {
+			logf("iteration %d done in %v (%.1f samples/sec)",
+				i, d, jobSpec.SamplesPerIter/d.Seconds())
+		}
+	})
+
+	if master != nil {
+		nextSpare := 16
+		svc := steering.NewService(steering.Config{
+			Engine: env.Eng, Cluster: machines,
+			IsolationDelay: 30 * sim.Second,
+			RestartDelay:   3 * sim.Minute,
+			Isolate: func(node int) {
+				logf("steering: isolating node %d, stopping job", node)
+				j.Stop()
+			},
+			Restart: func(node, repl int) {
+				spare := nextSpare
+				nextSpare++
+				logf("steering: replacing node %d with spare %d, restarting job", node, spare)
+				if err := j.ReplaceNode(node, spare); err != nil {
+					logf("steering: replace failed: %v", err)
+					return
+				}
+				j.Run(1_000_000, nil)
+			},
+		})
+		master.Subscribe(func(ev c4d.Event) {
+			logf("C4D: %v", ev)
+			rep := analyzer.Classify(ev)
+			top := rep.Top()
+			logf("RCA: most likely %v (%.0f%% confidence)", top.Kind, top.Confidence*100)
+			if ev.Syndrome == c4d.CommHang || ev.Syndrome == c4d.NonCommHang {
+				svc.Handle(ev)
+			}
+		})
+	}
+
+	j.Run(1_000_000, nil)
+
+	if *fault != "none" {
+		env.Eng.Schedule(sim.FromDuration(*faultAt), func() {
+			switch *fault {
+			case "crash":
+				logf("FAULT: crashing worker process on node %d", *victim)
+				// The server monitor sees the GPU Xid before anyone else.
+				analyzer.Observe(rca.Telemetry{Time: env.Eng.Now(), Kind: rca.TelemetryXidError, Node: *victim})
+				j.SetCrashed(*victim, true)
+			case "straggler":
+				logf("FAULT: node %d becomes a straggler (+400ms/iteration)", *victim)
+				j.SetStraggler(*victim, 400*sim.Millisecond)
+			case "nic":
+				logf("FAULT: node %d loses both NIC ports on rail 0", *victim)
+				analyzer.Observe(rca.Telemetry{Time: env.Eng.Now(), Kind: rca.TelemetryNICDown, Node: *victim})
+				for p := 0; p < topo.Planes; p++ {
+					port := env.Topo.PortAt(*victim, 0, p)
+					env.Net.SetLinkUp(port.Up, false)
+					env.Net.SetLinkUp(port.Down, false)
+				}
+			default:
+				fmt.Fprintf(os.Stderr, "c4sim: unknown fault %q\n", *fault)
+				os.Exit(2)
+			}
+		})
+	}
+
+	env.Eng.RunUntil(sim.FromDuration(*horizon))
+	if fleet != nil {
+		fleet.Stop()
+	}
+
+	iters := j.IterTimes()
+	fmt.Println()
+	logf("simulation finished: %d iterations completed", len(iters))
+	if len(iters) > 0 {
+		var sum sim.Time
+		for _, d := range iters {
+			sum += d
+		}
+		avg := sum / sim.Time(len(iters))
+		logf("average iteration: %v (%.1f samples/sec)", avg, jobSpec.SamplesPerIter/avg.Seconds())
+	}
+	if master != nil {
+		logf("C4D emitted %d events", len(master.Events()))
+	}
+}

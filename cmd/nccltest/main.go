@@ -1,0 +1,83 @@
+// Command nccltest is the simulated equivalent of NVIDIA's nccl-tests
+// collective benchmark used throughout the paper's evaluation: it runs
+// repeated ring allreduce operations on the simulated testbed and reports
+// per-iteration and mean bus bandwidth.
+//
+// Example:
+//
+//	nccltest -nodes 8 -mib 512 -iters 10 -provider c4p
+//	nccltest -nodes 8 -provider baseline -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"c4/internal/harness"
+	"c4/internal/topo"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 8, "number of nodes in the ring (8 GPUs each)")
+		mib      = flag.Float64("mib", 512, "payload per iteration in MiB")
+		iters    = flag.Int("iters", 8, "iterations")
+		provider = flag.String("provider", "c4p", "path control: baseline | c4p | c4p-dynamic")
+		spines   = flag.Int("spines", 8, "spine switches per rail (8 = 1:1 oversubscription, 4 = 2:1)")
+		qps      = flag.Int("qps", 2, "QPs per connection")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var kind harness.ProviderKind
+	switch *provider {
+	case "baseline":
+		kind = harness.Baseline
+	case "c4p":
+		kind = harness.C4PStatic
+	case "c4p-dynamic":
+		kind = harness.C4PDynamic
+	default:
+		fmt.Fprintf(os.Stderr, "nccltest: unknown provider %q\n", *provider)
+		os.Exit(2)
+	}
+
+	spec := topo.MultiJobTestbed(*spines)
+	if *nodes > spec.Nodes {
+		fmt.Fprintf(os.Stderr, "nccltest: at most %d nodes on this testbed\n", spec.Nodes)
+		os.Exit(2)
+	}
+	env := harness.NewEnv(spec)
+	ringNodes := make([]int, *nodes)
+	for i := range ringNodes {
+		// Alternate leaf groups so every ring edge crosses the spines.
+		if i%2 == 0 {
+			ringNodes[i] = i / 2
+		} else {
+			ringNodes[i] = 8 + i/2
+		}
+	}
+	bench, err := harness.StartBench(env, harness.BenchConfig{
+		Nodes:      ringNodes,
+		Bytes:      *mib * (1 << 20),
+		Iters:      *iters,
+		Provider:   env.NewProvider(kind, *seed),
+		QPsPerConn: *qps,
+		Adaptive:   kind == harness.C4PDynamic,
+		Seed:       *seed,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nccltest: %v\n", err)
+		os.Exit(1)
+	}
+	env.Eng.Run()
+
+	fmt.Printf("# nccltest (simulated) — allreduce, ring, %d nodes (%d GPUs), %s, %.0f MiB\n",
+		*nodes, *nodes*spec.GPUsPerNode, kind, *mib)
+	fmt.Printf("%-6s %-12s %-12s\n", "iter", "t(s)", "busbw(Gbps)")
+	for i, s := range bench.Series.Samples {
+		fmt.Printf("%-6d %-12.3f %-12.1f\n", i, s.T, s.V)
+	}
+	fmt.Printf("# mean busbw: %.1f Gbps\n", bench.MeanBusGbps())
+}

@@ -1,0 +1,156 @@
+package accl
+
+import (
+	"c4/internal/netsim"
+	"c4/internal/sim"
+	"c4/internal/topo"
+)
+
+// transfer moves `bytes` from src node to dst node, striped across the
+// communicator's rails. Within each rail the bytes are split evenly
+// between the NIC's two planes (the bonding driver transmits half per
+// physical port — C4P's "dual-port balance" keeps this true end to end),
+// and within a plane across that plane's QPs by weight (uniform by
+// default; throughput-proportional under C4P dynamic load balance).
+// onDone fires with the completion time of the last share.
+//
+// If no QP on a rail can obtain a healthy path the rail's share stalls and
+// retries; in the meantime the operation hangs, which is exactly the
+// communication-hang syndrome C4D observes.
+func (c *Communicator) transfer(o *Op, src, dst int, bytes float64, onDone func(end sim.Time)) {
+	rails := c.cfg.Rails
+	perRail := bytes / float64(len(rails))
+	pending := 0
+	var lastEnd sim.Time
+	finish := func(end sim.Time) {
+		if end > lastEnd {
+			lastEnd = end
+		}
+		pending--
+		if pending == 0 {
+			onDone(lastEnd)
+		}
+	}
+	for _, rail := range rails {
+		conn, err := c.getConn(src, dst, rail)
+		if err != nil {
+			continue
+		}
+		pending++
+		c.sendOnConn(o, conn, perRail, finish)
+	}
+	if pending == 0 {
+		// No transport anywhere: the operation hangs, as it would in RoCE.
+		return
+	}
+}
+
+// sendOnConn ships railBytes over one connection, retrying while the
+// connection has no healthy path at all.
+func (c *Communicator) sendOnConn(o *Op, conn *Conn, railBytes float64, finish func(sim.Time)) {
+	shares := c.planShares(conn, railBytes)
+	if len(shares) == 0 {
+		c.cfg.Engine.After(sim.Second, func() {
+			c.sendOnConn(o, conn, railBytes, finish)
+		})
+		return
+	}
+	pending := len(shares)
+	var lastEnd sim.Time
+	start := c.cfg.Engine.Now()
+	for _, sh := range shares {
+		sh := sh
+		flow := c.cfg.Net.StartFlow(sh.qp.assign.Path, sh.bits, string(o.Type), func(f *netsim.Flow) {
+			end := c.cfg.Engine.Now()
+			c.emitMsg(MsgEvent{
+				Comm: c.ID, Seq: o.Seq,
+				SrcNode: conn.Src, DstNode: conn.Dst,
+				Rail: conn.Rail, Plane: sh.plane,
+				Sport: sh.qp.assign.Sport, QPN: sh.qp.QPN,
+				Bytes: sh.bits / 8, Start: start, End: end,
+			})
+			c.recordThroughput(conn, sh.qp, sh.bits, end-start)
+			if end > lastEnd {
+				lastEnd = end
+			}
+			pending--
+			if pending == 0 {
+				finish(lastEnd)
+			}
+		})
+		flow.OnPathDown = func(fl *netsim.Flow) {
+			c.repairFlow(conn, sh.qp, fl)
+		}
+	}
+}
+
+type share struct {
+	qp    *QP
+	bits  float64
+	plane int
+}
+
+// planShares splits a rail's bytes: half per plane that has at least one
+// healthy QP (all to one plane only if the other is completely dark), then
+// within each plane proportionally to QP weights.
+func (c *Communicator) planShares(conn *Conn, railBytes float64) []share {
+	qps := c.healthyQPs(conn)
+	if len(qps) == 0 {
+		return nil
+	}
+	byPlane := make([][]*QP, topo.Planes)
+	for _, qp := range qps {
+		p := qp.assign.Path.SrcPort.Plane
+		byPlane[p] = append(byPlane[p], qp)
+	}
+	livePlanes := 0
+	for _, qs := range byPlane {
+		if len(qs) > 0 {
+			livePlanes++
+		}
+	}
+	var out []share
+	for p, qs := range byPlane {
+		if len(qs) == 0 {
+			continue
+		}
+		planeBits := railBytes * 8 / float64(livePlanes)
+		var wsum float64
+		for _, qp := range qs {
+			wsum += qp.weight
+		}
+		for _, qp := range qs {
+			w := 1.0 / float64(len(qs))
+			if wsum > 0 {
+				w = qp.weight / wsum
+			}
+			out = append(out, share{qp: qp, bits: planeBits * w, plane: p})
+		}
+	}
+	return out
+}
+
+// repairFlow asks the provider for a replacement path after a failure. On
+// success the in-flight data is rerouted; on failure the flow stays
+// stalled and resumes if the link recovers.
+func (c *Communicator) repairFlow(conn *Conn, qp *QP, fl *netsim.Flow) {
+	var idx int
+	for i, q := range conn.QPs {
+		if q == qp {
+			idx = i
+			break
+		}
+	}
+	req := ConnRequest{
+		Comm: c.ID, SrcNode: conn.Src, DstNode: conn.Dst, Rail: conn.Rail,
+		QPN: qp.QPN, QPIndex: idx, QPCount: len(conn.QPs),
+	}
+	as, err := c.cfg.Provider.Repair(req, qp.assign)
+	if err != nil {
+		qp.broken = true
+		return
+	}
+	qp.assign = as
+	qp.broken = false
+	c.cfg.Net.Reroute(fl, as.Path)
+}

@@ -1,0 +1,141 @@
+package accl
+
+import (
+	"c4/internal/sim"
+)
+
+// Broadcast distributes `bytes` from the root member (index 0) to all other
+// members over a binary tree, the latency-optimal alternative ACCL keeps
+// alongside ring (paper Fig 6 lists both algorithm families). Each tree
+// edge carries the full payload; a node forwards to its children only after
+// fully receiving from its parent.
+func (c *Communicator) Broadcast(bytes float64, arrivals []sim.Time, onDone func(Result)) *Op {
+	c.seq++
+	o := &Op{comm: c, Type: OpBroadcast, Algo: "tree", Seq: c.seq, Bytes: bytes, onDone: onDone}
+	arr := c.resolveArrivals(arrivals)
+	c.announceArrivals(o, arr)
+	c.runTreeBroadcast(o, arr)
+	return o
+}
+
+// AllReduceTree performs allreduce as reduce-to-root followed by broadcast,
+// the tree variant used for the algorithm ablation benchmarks. Each tree
+// edge carries the payload once per phase.
+func (c *Communicator) AllReduceTree(bytes float64, arrivals []sim.Time, onDone func(Result)) *Op {
+	c.seq++
+	o := &Op{comm: c, Type: OpAllReduce, Algo: "tree", Seq: c.seq, Bytes: bytes, onDone: onDone}
+	arr := c.resolveArrivals(arrivals)
+	c.announceArrivals(o, arr)
+	c.runTreeReduce(o, arr, func(rootDone sim.Time) {
+		// Phase 2: broadcast the reduced buffer back down the tree.
+		arr2 := make([]sim.Time, len(c.nodes))
+		for i := range arr2 {
+			arr2[i] = rootDone
+			if arr[i] == sim.MaxTime {
+				arr2[i] = sim.MaxTime
+			}
+		}
+		c.runTreeBroadcast(o, arr2)
+	})
+	return o
+}
+
+// children returns the binary-heap children of member index i.
+func treeChildren(i, m int) []int {
+	var out []int
+	for _, ch := range []int{2*i + 1, 2*i + 2} {
+		if ch < m {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+func (c *Communicator) runTreeBroadcast(o *Op, arr []sim.Time) {
+	m := len(c.nodes)
+	if m == 1 {
+		c.runSingleNode(o, arr[0])
+		return
+	}
+	// Pending edges: every non-root member must receive once.
+	o.pendingEdges += m - 1
+
+	var send func(parent, child int, readyAt sim.Time)
+	send = func(parent, child int, readyAt sim.Time) {
+		if arr[parent] == sim.MaxTime || arr[child] == sim.MaxTime {
+			return // crashed endpoint: subtree never completes
+		}
+		start := readyAt
+		if arr[child] > start {
+			start = arr[child]
+		}
+		c.cfg.Engine.Schedule(start, func() {
+			c.transfer(o, c.nodes[parent], c.nodes[child], o.Bytes, func(end sim.Time) {
+				o.finishEdge(end)
+				for _, gc := range treeChildren(child, m) {
+					send(child, gc, end)
+				}
+			})
+		})
+	}
+	for _, ch := range treeChildren(0, m) {
+		send(0, ch, arr[0])
+	}
+}
+
+// runTreeReduce pushes data leaf-to-root; done fires when the root holds
+// the fully reduced buffer.
+func (c *Communicator) runTreeReduce(o *Op, arr []sim.Time, done func(sim.Time)) {
+	m := len(c.nodes)
+	if m == 1 {
+		if arr[0] != sim.MaxTime {
+			done(arr[0])
+		}
+		return
+	}
+	recvRemaining := make([]int, m)
+	recvReady := make([]sim.Time, m)
+	for i := range recvReady {
+		recvReady[i] = arr[i]
+	}
+	for i := 0; i < m; i++ {
+		recvRemaining[i] = len(treeChildren(i, m))
+	}
+
+	var sendUp func(child int)
+	sendUp = func(child int) {
+		parent := (child - 1) / 2
+		if arr[child] == sim.MaxTime || arr[parent] == sim.MaxTime {
+			return
+		}
+		start := recvReady[child]
+		if arr[parent] > start {
+			start = arr[parent]
+		}
+		c.cfg.Engine.Schedule(start, func() {
+			c.transfer(o, c.nodes[child], c.nodes[parent], o.Bytes, func(end sim.Time) {
+				recvRemaining[parent]--
+				if end > recvReady[parent] {
+					recvReady[parent] = end
+				}
+				if recvRemaining[parent] > 0 {
+					return
+				}
+				if parent == 0 {
+					done(recvReady[0])
+					return
+				}
+				sendUp(parent)
+			})
+		})
+	}
+	for i := 0; i < m; i++ {
+		if recvRemaining[i] == 0 && i != 0 {
+			sendUp(i) // leaves start immediately
+		}
+	}
+	if recvRemaining[0] == 0 {
+		// Root is a leaf only when m == 1, handled above.
+		done(arr[0])
+	}
+}

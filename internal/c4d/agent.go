@@ -1,0 +1,119 @@
+package c4d
+
+import (
+	"sort"
+
+	"c4/internal/accl"
+	"c4/internal/sim"
+)
+
+// Agent is a C4a agent: it runs beside one worker, buffers the ACCL
+// monitoring records that worker produces, and ships them to the master on
+// every reporting tick (paper Fig 5). Transport records are collected on
+// the sending side, where the QP counters live.
+type Agent struct {
+	Node int
+
+	msgs  []accl.MsgEvent
+	colls []accl.CollEvent
+	waits []accl.WaitEvent
+}
+
+// Report is one agent->master batch.
+type Report struct {
+	Node     int
+	Messages []accl.MsgEvent
+	Colls    []accl.CollEvent
+	Waits    []accl.WaitEvent
+}
+
+func (a *Agent) flush() Report {
+	r := Report{Node: a.Node, Messages: a.msgs, Colls: a.colls, Waits: a.waits}
+	a.msgs, a.colls, a.waits = nil, nil, nil
+	return r
+}
+
+// Fleet fans ACCL monitoring records out to per-node agents and drives the
+// periodic reporting loop. It implements accl.StatsSink, so it plugs
+// directly into a Communicator's Config.Sink.
+type Fleet struct {
+	Master *Master
+	agents map[int]*Agent
+	eng    *sim.Engine
+	ticker *sim.Event
+}
+
+// NewFleet creates the agent fleet and starts the reporting ticker.
+func NewFleet(eng *sim.Engine, master *Master) *Fleet {
+	f := &Fleet{Master: master, agents: make(map[int]*Agent), eng: eng}
+	f.scheduleTick()
+	return f
+}
+
+func (f *Fleet) scheduleTick() {
+	f.ticker = f.eng.After(f.Master.cfg.ReportInterval, func() {
+		f.reportAll()
+		f.scheduleTick()
+	})
+}
+
+// Stop halts the reporting loop.
+func (f *Fleet) Stop() {
+	if f.ticker != nil {
+		f.ticker.Cancel()
+	}
+}
+
+func (f *Fleet) agent(node int) *Agent {
+	a := f.agents[node]
+	if a == nil {
+		a = &Agent{Node: node}
+		f.agents[node] = a
+	}
+	return a
+}
+
+// reportAll flushes every agent to the master in deterministic order, then
+// triggers one analysis pass.
+func (f *Fleet) reportAll() {
+	nodes := make([]int, 0, len(f.agents))
+	for n := range f.agents {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		f.Master.Ingest(f.agents[n].flush())
+	}
+	f.Master.Analyze(f.eng.Now())
+}
+
+// OnCommCreate implements accl.StatsSink.
+func (f *Fleet) OnCommCreate(ci accl.CommInfo) {
+	for _, n := range ci.Nodes {
+		f.agent(n) // ensure agents exist for all members
+	}
+	f.Master.RegisterComm(ci)
+}
+
+// OnCommClose implements accl.StatsSink.
+func (f *Fleet) OnCommClose(comm int) {
+	f.Master.UnregisterComm(comm)
+}
+
+// OnCollective implements accl.StatsSink.
+func (f *Fleet) OnCollective(ev accl.CollEvent) {
+	a := f.agent(ev.Node)
+	a.colls = append(a.colls, ev)
+}
+
+// OnMessage implements accl.StatsSink.
+func (f *Fleet) OnMessage(ev accl.MsgEvent) {
+	a := f.agent(ev.SrcNode)
+	a.msgs = append(a.msgs, ev)
+}
+
+// OnWait implements accl.StatsSink.
+func (f *Fleet) OnWait(ev accl.WaitEvent) {
+	a := f.agent(ev.Waiter)
+	a.waits = append(a.waits, ev)
+}

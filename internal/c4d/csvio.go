@@ -1,0 +1,276 @@
+package c4d
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"c4/internal/accl"
+	"c4/internal/metrics"
+	"c4/internal/sim"
+)
+
+// This file implements the stats files of the paper's Fig 5 — the
+// comm-stats / coll-stats / conn-stats / rank-stats CSV time series each
+// C4a agent writes — and the offline "C4 Analyzer" that replays them
+// through the same detectors the online master uses. Production keeps
+// these files for post-mortems; here they also make the analyzer testable
+// against golden data.
+
+// WriteConnStats emits transport-layer records (conn-stats.csv).
+func WriteConnStats(w io.Writer, msgs []accl.MsgEvent) error {
+	cw := metrics.NewCSVWriter(w,
+		"comm", "seq", "src_node", "dst_node", "rail", "plane",
+		"sport", "qpn", "bytes", "start_ns", "end_ns")
+	for _, m := range msgs {
+		err := cw.Write(m.Comm, m.Seq, m.SrcNode, m.DstNode, m.Rail, m.Plane,
+			int(m.Sport), m.QPN, m.Bytes, int64(m.Start), int64(m.End))
+		if err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
+}
+
+// ReadConnStats parses conn-stats.csv.
+func ReadConnStats(r io.Reader) ([]accl.MsgEvent, error) {
+	rows, err := readCSV(r, 11)
+	if err != nil {
+		return nil, fmt.Errorf("conn-stats: %w", err)
+	}
+	out := make([]accl.MsgEvent, 0, len(rows))
+	for _, f := range rows {
+		ev := accl.MsgEvent{
+			Comm: f.i(0), Seq: f.i(1), SrcNode: f.i(2), DstNode: f.i(3),
+			Rail: f.i(4), Plane: f.i(5), Sport: uint16(f.i(6)), QPN: f.i(7),
+			Bytes: f.f(8), Start: sim.Time(f.i64(9)), End: sim.Time(f.i64(10)),
+		}
+		if f.err != nil {
+			return nil, fmt.Errorf("conn-stats row: %w", f.err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// WriteCollStats emits operation-layer records (coll-stats.csv).
+func WriteCollStats(w io.Writer, colls []accl.CollEvent) error {
+	cw := metrics.NewCSVWriter(w,
+		"comm", "seq", "node", "op", "algo", "bytes", "phase", "t_ns")
+	for _, c := range colls {
+		err := cw.Write(c.Comm, c.Seq, c.Node, string(c.Op), c.Algo,
+			c.Bytes, int(c.Phase), int64(c.Time))
+		if err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
+}
+
+// ReadCollStats parses coll-stats.csv.
+func ReadCollStats(r io.Reader) ([]accl.CollEvent, error) {
+	rows, err := readCSV(r, 8)
+	if err != nil {
+		return nil, fmt.Errorf("coll-stats: %w", err)
+	}
+	out := make([]accl.CollEvent, 0, len(rows))
+	for _, f := range rows {
+		ev := accl.CollEvent{
+			Comm: f.i(0), Seq: f.i(1), Node: f.i(2),
+			Op: accl.OpType(f.s(3)), Algo: f.s(4), Bytes: f.f(5),
+			Phase: accl.CollPhase(f.i(6)), Time: sim.Time(f.i64(7)),
+		}
+		if f.err != nil {
+			return nil, fmt.Errorf("coll-stats row: %w", f.err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// WriteRankStats emits receiver-driven wait records (rank-stats.csv).
+func WriteRankStats(w io.Writer, waits []accl.WaitEvent) error {
+	cw := metrics.NewCSVWriter(w, "comm", "seq", "waiter", "on", "dur_ns", "t_ns")
+	for _, wt := range waits {
+		if err := cw.Write(wt.Comm, wt.Seq, wt.Waiter, wt.On, int64(wt.Dur), int64(wt.Time)); err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
+}
+
+// ReadRankStats parses rank-stats.csv.
+func ReadRankStats(r io.Reader) ([]accl.WaitEvent, error) {
+	rows, err := readCSV(r, 6)
+	if err != nil {
+		return nil, fmt.Errorf("rank-stats: %w", err)
+	}
+	out := make([]accl.WaitEvent, 0, len(rows))
+	for _, f := range rows {
+		ev := accl.WaitEvent{
+			Comm: f.i(0), Seq: f.i(1), Waiter: f.i(2), On: f.i(3),
+			Dur: sim.Time(f.i64(4)), Time: sim.Time(f.i64(5)),
+		}
+		if f.err != nil {
+			return nil, fmt.Errorf("rank-stats row: %w", f.err)
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// WriteCommStats emits communicator membership (comm-stats.csv).
+func WriteCommStats(w io.Writer, comms []accl.CommInfo) error {
+	cw := metrics.NewCSVWriter(w, "comm", "rank", "node")
+	for _, ci := range comms {
+		for rank, node := range ci.Nodes {
+			if err := cw.Write(ci.Comm, rank, node); err != nil {
+				return err
+			}
+		}
+	}
+	return cw.Flush()
+}
+
+// ReadCommStats parses comm-stats.csv.
+func ReadCommStats(r io.Reader) ([]accl.CommInfo, error) {
+	rows, err := readCSV(r, 3)
+	if err != nil {
+		return nil, fmt.Errorf("comm-stats: %w", err)
+	}
+	byComm := map[int][]int{}
+	var order []int
+	for _, f := range rows {
+		comm := f.i(0)
+		node := f.i(2)
+		if f.err != nil {
+			return nil, fmt.Errorf("comm-stats row: %w", f.err)
+		}
+		if _, ok := byComm[comm]; !ok {
+			order = append(order, comm)
+		}
+		byComm[comm] = append(byComm[comm], node)
+	}
+	out := make([]accl.CommInfo, 0, len(order))
+	for _, c := range order {
+		out = append(out, accl.CommInfo{Comm: c, Nodes: byComm[c]})
+	}
+	return out, nil
+}
+
+// fields wraps one CSV row with typed accessors that latch the first error.
+type fields struct {
+	cells []string
+	err   error
+}
+
+func (f *fields) s(i int) string { return f.cells[i] }
+
+func (f *fields) i(i int) int {
+	v, err := strconv.Atoi(f.cells[i])
+	if err != nil && f.err == nil {
+		f.err = err
+	}
+	return v
+}
+
+func (f *fields) i64(i int) int64 {
+	v, err := strconv.ParseInt(f.cells[i], 10, 64)
+	if err != nil && f.err == nil {
+		f.err = err
+	}
+	return v
+}
+
+func (f *fields) f(i int) float64 {
+	v, err := strconv.ParseFloat(f.cells[i], 64)
+	if err != nil && f.err == nil {
+		f.err = err
+	}
+	return v
+}
+
+func readCSV(r io.Reader, want int) ([]*fields, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = want
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	out := make([]*fields, 0, len(recs)-1)
+	for _, rec := range recs[1:] { // skip header
+		out = append(out, &fields{cells: rec})
+	}
+	return out, nil
+}
+
+// OfflineFinding is one windowed analyzer result.
+type OfflineFinding struct {
+	WindowStart sim.Time
+	WindowEnd   sim.Time
+	Comm        int
+	Finding     MatrixFinding
+}
+
+// AnalyzeOffline replays conn-stats records through the comm-slow
+// localizer in fixed windows — the paper's "C4 Analyzer" box in Fig 5,
+// used for post-mortems on archived stats.
+func AnalyzeOffline(msgs []accl.MsgEvent, window sim.Time, kappa, rowColFrac float64) []OfflineFinding {
+	if len(msgs) == 0 || window <= 0 {
+		return nil
+	}
+	var maxEnd sim.Time
+	for _, m := range msgs {
+		if m.End > maxEnd {
+			maxEnd = m.End
+		}
+	}
+	var out []OfflineFinding
+	for start := sim.Time(0); start < maxEnd; start += window {
+		end := start + window
+		// Per communicator, aggregate bandwidth per pair in the window.
+		byComm := map[int]map[[2]int]*pairAgg{}
+		for _, m := range msgs {
+			if m.End < start || m.End >= end {
+				continue
+			}
+			pairs := byComm[m.Comm]
+			if pairs == nil {
+				pairs = map[[2]int]*pairAgg{}
+				byComm[m.Comm] = pairs
+			}
+			key := [2]int{m.SrcNode, m.DstNode}
+			agg := pairs[key]
+			if agg == nil {
+				agg = &pairAgg{}
+				pairs[key] = agg
+			}
+			agg.bytes += m.Bytes
+			agg.dur += m.Duration()
+		}
+		comms := make([]int, 0, len(byComm))
+		for c := range byComm {
+			comms = append(comms, c)
+		}
+		sort.Ints(comms)
+		for _, c := range comms {
+			bw := map[[2]int]float64{}
+			for key, agg := range byComm[c] {
+				if agg.dur > 0 {
+					bw[key] = agg.bytes * 8 / agg.dur.Seconds()
+				}
+			}
+			for _, f := range AnalyzeDelayMatrix(bw, kappa, rowColFrac) {
+				out = append(out, OfflineFinding{
+					WindowStart: start, WindowEnd: end, Comm: c, Finding: f,
+				})
+			}
+		}
+	}
+	return out
+}

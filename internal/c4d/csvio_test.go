@@ -1,0 +1,182 @@
+package c4d
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"c4/internal/accl"
+	"c4/internal/sim"
+)
+
+func sampleMsgs() []accl.MsgEvent {
+	return []accl.MsgEvent{
+		{Comm: 1, Seq: 3, SrcNode: 0, DstNode: 2, Rail: 1, Plane: 0,
+			Sport: 4242, QPN: 1001, Bytes: 1 << 20,
+			Start: 100 * sim.Millisecond, End: 150 * sim.Millisecond},
+		{Comm: 1, Seq: 3, SrcNode: 2, DstNode: 4, Rail: 1, Plane: 1,
+			Sport: 17, QPN: 1002, Bytes: 2 << 20,
+			Start: 100 * sim.Millisecond, End: 250 * sim.Millisecond},
+	}
+}
+
+func TestConnStatsRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := WriteConnStats(&b, sampleMsgs()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadConnStats(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleMsgs()
+	if len(got) != len(want) {
+		t.Fatalf("rows = %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCollStatsRoundTrip(t *testing.T) {
+	colls := []accl.CollEvent{
+		{Comm: 2, Seq: 7, Node: 4, Op: accl.OpAllReduce, Algo: "ring",
+			Bytes: 64 << 20, Phase: accl.PhaseArrive, Time: sim.Second},
+		{Comm: 2, Seq: 7, Node: 4, Op: accl.OpAllReduce, Algo: "ring",
+			Bytes: 64 << 20, Phase: accl.PhaseComplete, Time: 2 * sim.Second},
+	}
+	var b strings.Builder
+	if err := WriteCollStats(&b, colls); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCollStats(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range colls {
+		if got[i] != colls[i] {
+			t.Fatalf("row %d = %+v, want %+v", i, got[i], colls[i])
+		}
+	}
+}
+
+func TestRankStatsRoundTrip(t *testing.T) {
+	waits := []accl.WaitEvent{
+		{Comm: 1, Seq: 9, Waiter: 2, On: 4, Dur: 300 * sim.Millisecond, Time: 5 * sim.Second},
+	}
+	var b strings.Builder
+	if err := WriteRankStats(&b, waits); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRankStats(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != waits[0] {
+		t.Fatalf("row = %+v", got[0])
+	}
+}
+
+func TestCommStatsRoundTrip(t *testing.T) {
+	comms := []accl.CommInfo{
+		{Comm: 1, Nodes: []int{0, 2, 4}},
+		{Comm: 2, Nodes: []int{1, 3}},
+	}
+	var b strings.Builder
+	if err := WriteCommStats(&b, comms); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCommStats(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Comm != 1 || len(got[0].Nodes) != 3 || got[1].Nodes[1] != 3 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	if _, err := ReadConnStats(strings.NewReader("comm,seq\n1,2\n")); err == nil {
+		t.Fatal("short rows accepted")
+	}
+	bad := "comm,seq,src_node,dst_node,rail,plane,sport,qpn,bytes,start_ns,end_ns\nx,0,0,0,0,0,0,0,0,0,0\n"
+	if _, err := ReadConnStats(strings.NewReader(bad)); err == nil {
+		t.Fatal("non-numeric cell accepted")
+	}
+	if got, err := ReadConnStats(strings.NewReader("")); err != nil || len(got) != 0 {
+		t.Fatalf("empty file: %v %v", got, err)
+	}
+}
+
+func TestAnalyzeOfflineFindsInjectedRow(t *testing.T) {
+	// Synthesize two windows of full-mesh traffic: healthy in the first,
+	// node 3's Tx degraded 4x in the second.
+	var msgs []accl.MsgEvent
+	nodes := []int{0, 1, 2, 3, 4, 5}
+	emit := func(window int, slowSrc int) {
+		base := sim.Time(window) * 10 * sim.Second
+		for _, s := range nodes {
+			for _, d := range nodes {
+				if s == d {
+					continue
+				}
+				dur := 100 * sim.Millisecond
+				if s == slowSrc {
+					dur *= 4
+				}
+				msgs = append(msgs, accl.MsgEvent{
+					Comm: 1, Seq: window, SrcNode: s, DstNode: d,
+					Bytes: 1 << 24, Start: base, End: base + dur,
+				})
+			}
+		}
+	}
+	emit(0, -1)
+	emit(1, 3)
+	findings := AnalyzeOffline(msgs, 10*sim.Second, 2, 0.6)
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v, want exactly 1", findings)
+	}
+	f := findings[0]
+	if f.WindowStart != 10*sim.Second {
+		t.Fatalf("finding in wrong window: %+v", f)
+	}
+	if f.Finding.Scope != ScopeNodeTx || f.Finding.Src != 3 {
+		t.Fatalf("finding = %+v, want node-tx 3", f.Finding)
+	}
+}
+
+func TestAnalyzeOfflineEmpty(t *testing.T) {
+	if got := AnalyzeOffline(nil, sim.Second, 2, 0.6); got != nil {
+		t.Fatalf("empty input: %+v", got)
+	}
+	if got := AnalyzeOffline(sampleMsgs(), 0, 2, 0.6); got != nil {
+		t.Fatalf("zero window: %+v", got)
+	}
+}
+
+// Property: conn-stats round trip is exact for arbitrary event fields.
+func TestConnStatsRoundTripProperty(t *testing.T) {
+	f := func(comm, seq uint8, src, dst uint8, bytes uint32, startMs, durMs uint16) bool {
+		ev := accl.MsgEvent{
+			Comm: int(comm), Seq: int(seq), SrcNode: int(src), DstNode: int(dst),
+			Bytes: float64(bytes),
+			Start: sim.Time(startMs) * sim.Millisecond,
+			End:   sim.Time(startMs)*sim.Millisecond + sim.Time(durMs)*sim.Millisecond,
+		}
+		var b strings.Builder
+		if err := WriteConnStats(&b, []accl.MsgEvent{ev}); err != nil {
+			return false
+		}
+		got, err := ReadConnStats(strings.NewReader(b.String()))
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0] == ev
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package c4d
+
+import (
+	"testing"
+	"testing/quick"
+
+	"c4/internal/sim"
+)
+
+// buildMatrix creates a healthy full-mesh bandwidth matrix over n nodes at
+// `base` Gbps, then applies overrides.
+func buildMatrix(n int, base float64, slow map[[2]int]float64) map[[2]int]float64 {
+	bw := map[[2]int]float64{}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			bw[[2]int{s, d}] = base
+		}
+	}
+	for k, v := range slow {
+		bw[k] = v
+	}
+	return bw
+}
+
+func TestMatrixSingleCell(t *testing.T) {
+	// Fig 7 left: one large entry -> a specific connection bottleneck.
+	bw := buildMatrix(8, 360, map[[2]int]float64{{3, 4}: 90})
+	got := AnalyzeDelayMatrix(bw, 2, 0.6)
+	if len(got) != 1 {
+		t.Fatalf("findings = %+v, want exactly 1", got)
+	}
+	f := got[0]
+	if f.Scope != ScopeConnection || f.Src != 3 || f.Dst != 4 {
+		t.Fatalf("finding = %+v, want connection 3->4", f)
+	}
+	if f.Slowdown < 3.5 || f.Slowdown > 4.5 {
+		t.Fatalf("slowdown = %v, want ≈4", f.Slowdown)
+	}
+}
+
+func TestMatrixRowSlow(t *testing.T) {
+	// Fig 7 middle: a whole row -> the source's Tx side.
+	slow := map[[2]int]float64{}
+	for d := 0; d < 8; d++ {
+		if d != 3 {
+			slow[[2]int{3, d}] = 100
+		}
+	}
+	bw := buildMatrix(8, 360, slow)
+	got := AnalyzeDelayMatrix(bw, 2, 0.6)
+	if len(got) != 1 {
+		t.Fatalf("findings = %+v, want exactly 1", got)
+	}
+	if got[0].Scope != ScopeNodeTx || got[0].Src != 3 {
+		t.Fatalf("finding = %+v, want node-tx 3", got[0])
+	}
+}
+
+func TestMatrixColumnSlow(t *testing.T) {
+	// Fig 7 right: a whole column -> the destination's Rx side.
+	slow := map[[2]int]float64{}
+	for s := 0; s < 8; s++ {
+		if s != 5 {
+			slow[[2]int{s, 5}] = 100
+		}
+	}
+	bw := buildMatrix(8, 360, slow)
+	got := AnalyzeDelayMatrix(bw, 2, 0.6)
+	if len(got) != 1 {
+		t.Fatalf("findings = %+v, want exactly 1", got)
+	}
+	if got[0].Scope != ScopeNodeRx || got[0].Dst != 5 {
+		t.Fatalf("finding = %+v, want node-rx 5", got[0])
+	}
+}
+
+func TestMatrixRowAndCell(t *testing.T) {
+	slow := map[[2]int]float64{}
+	for d := 0; d < 8; d++ {
+		if d != 2 {
+			slow[[2]int{2, d}] = 100
+		}
+	}
+	slow[[2]int{6, 7}] = 50
+	bw := buildMatrix(8, 360, slow)
+	got := AnalyzeDelayMatrix(bw, 2, 0.6)
+	if len(got) != 2 {
+		t.Fatalf("findings = %+v, want 2", got)
+	}
+	var haveRow, haveCell bool
+	for _, f := range got {
+		switch f.Scope {
+		case ScopeNodeTx:
+			haveRow = f.Src == 2
+		case ScopeConnection:
+			haveCell = f.Src == 6 && f.Dst == 7
+		}
+	}
+	if !haveRow || !haveCell {
+		t.Fatalf("findings = %+v, want row(2) and cell(6->7)", got)
+	}
+}
+
+func TestMatrixHealthyIsQuiet(t *testing.T) {
+	bw := buildMatrix(8, 360, nil)
+	if got := AnalyzeDelayMatrix(bw, 2, 0.6); len(got) != 0 {
+		t.Fatalf("healthy matrix produced findings: %+v", got)
+	}
+	// Mild jitter below kappa stays quiet too.
+	bw[[2]int{1, 2}] = 250
+	if got := AnalyzeDelayMatrix(bw, 2, 0.6); len(got) != 0 {
+		t.Fatalf("sub-threshold jitter produced findings: %+v", got)
+	}
+}
+
+func TestMatrixZeroBandwidthCell(t *testing.T) {
+	bw := buildMatrix(4, 360, map[[2]int]float64{{0, 1}: 0})
+	got := AnalyzeDelayMatrix(bw, 2, 0.6)
+	if len(got) != 1 || got[0].Scope != ScopeConnection {
+		t.Fatalf("findings = %+v, want one connection", got)
+	}
+}
+
+func TestMatrixEmptyAndDegenerate(t *testing.T) {
+	if got := AnalyzeDelayMatrix(nil, 2, 0.6); got != nil {
+		t.Fatalf("empty matrix: %+v", got)
+	}
+	if got := AnalyzeDelayMatrix(map[[2]int]float64{{0, 1}: 0}, 2, 0.6); got != nil {
+		t.Fatalf("all-zero matrix should be unanalyzable, got %+v", got)
+	}
+}
+
+// Property: relabeling nodes permutes findings but preserves their
+// structure (the analyzer has no positional bias).
+func TestMatrixPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := sim.NewRand(seed)
+		n := 6
+		victim := r.Intn(n)
+		slow := map[[2]int]float64{}
+		for d := 0; d < n; d++ {
+			if d != victim {
+				slow[[2]int{victim, d}] = 80
+			}
+		}
+		bw := buildMatrix(n, 360, slow)
+		got := AnalyzeDelayMatrix(bw, 2, 0.6)
+		if len(got) != 1 || got[0].Scope != ScopeNodeTx || got[0].Src != victim {
+			return false
+		}
+		// Permute labels and re-check.
+		perm := r.Perm(n)
+		pbw := map[[2]int]float64{}
+		for k, v := range bw {
+			pbw[[2]int{perm[k[0]], perm[k[1]]}] = v
+		}
+		pg := AnalyzeDelayMatrix(pbw, 2, 0.6)
+		return len(pg) == 1 && pg[0].Scope == ScopeNodeTx && pg[0].Src == perm[victim]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling all bandwidths uniformly produces no findings (the
+// detector is relative, not absolute).
+func TestMatrixScaleInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := sim.NewRand(seed)
+		scale := 0.1 + 10*r.Float64()
+		bw := buildMatrix(6, 360*scale, nil)
+		return len(AnalyzeDelayMatrix(bw, 2, 0.6)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

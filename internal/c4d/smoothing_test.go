@@ -1,0 +1,70 @@
+package c4d
+
+import (
+	"testing"
+
+	"c4/internal/accl"
+	"c4/internal/sim"
+)
+
+// The paper's §V discusses extending C4D to Expert Parallelism, where load
+// imbalance among workers is *expected* and random, "which can be
+// mitigated by averaging collected data over a predefined period to smooth
+// out random variations and highlight systemic issues." These tests
+// exercise that smoothing: random per-iteration arrival noise must not be
+// blamed, while a persistent straggler still is.
+
+// runEPLikeLoad drives a BSP loop where every iteration a different random
+// node is slow (EP-style routing imbalance), optionally plus one node that
+// is *always* slow.
+func runEPLikeLoad(t *testing.T, cfg Config, systemicNode int, until sim.Time) *Master {
+	t.Helper()
+	r := newRig(t, cfg)
+	noise := sim.NewRand(99)
+	const compute = 100 * sim.Millisecond
+	const spike = 150 * sim.Millisecond
+	var iterate func()
+	iterate = func() {
+		now := r.eng.Now()
+		arr := make([]sim.Time, len(r.nodes))
+		lucky := r.nodes[noise.Intn(len(r.nodes))]
+		for i, n := range r.nodes {
+			arr[i] = now + compute
+			if n == lucky {
+				arr[i] += spike // random EP hot expert this iteration
+			}
+			if n == systemicNode {
+				arr[i] += spike // persistent straggler
+			}
+		}
+		r.comm.AllReduce(64<<20, arr, func(accl.Result) { iterate() })
+	}
+	iterate()
+	r.eng.RunUntil(until)
+	return r.master
+}
+
+func TestSmoothingSuppressesRandomEPImbalance(t *testing.T) {
+	master := runEPLikeLoad(t, Config{SmoothingWindows: 4}, -1, 3*sim.Minute)
+	for _, ev := range master.Events() {
+		if ev.Syndrome == NonCommSlow {
+			t.Fatalf("random per-iteration imbalance blamed as straggler: %v", ev)
+		}
+	}
+}
+
+func TestSmoothingStillCatchesSystemicStraggler(t *testing.T) {
+	master := runEPLikeLoad(t, Config{SmoothingWindows: 4}, 6, 3*sim.Minute)
+	found := false
+	for _, ev := range master.Events() {
+		if ev.Syndrome == NonCommSlow {
+			if ev.Node != 6 {
+				t.Fatalf("wrong straggler blamed under EP noise: %v", ev)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("systemic straggler escaped under EP noise")
+	}
+}

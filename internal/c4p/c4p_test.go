@@ -1,0 +1,229 @@
+package c4p
+
+import (
+	"testing"
+
+	"c4/internal/accl"
+	"c4/internal/netsim"
+	"c4/internal/sim"
+	"c4/internal/topo"
+)
+
+func req(src, dst, qpIdx int) accl.ConnRequest {
+	return accl.ConnRequest{SrcNode: src, DstNode: dst, Rail: 0, QPN: 100 + qpIdx, QPIndex: qpIdx, QPCount: 2}
+}
+
+func TestConnectSamePlaneAndSpineSpread(t *testing.T) {
+	tp := topo.MustNew(topo.PaperTestbed())
+	m := NewMaster(tp, Static, sim.NewRand(1))
+	seen := map[int]int{}
+	for i := 0; i < 8; i++ {
+		as, err := m.Connect(req(0, 2+2*(i%4), i%2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := as.Path
+		if p.CrossPlane() {
+			t.Fatalf("C4P produced a cross-plane path: %v", p)
+		}
+		if p.SrcPort.Plane != i%2 {
+			t.Fatalf("QP %d not balanced across bonded ports: plane %d", i, p.SrcPort.Plane)
+		}
+		if p.Spine != nil {
+			seen[p.Spine.Index]++
+		}
+	}
+	// 4 allocations per plane from the same leaf must spread over 4
+	// distinct spines each.
+	for s, c := range seen {
+		if c > 2 {
+			t.Fatalf("spine %d carries %d QPs; allocation not balanced: %v", s, c, seen)
+		}
+	}
+}
+
+func TestConnectAvoidsDeadLinks(t *testing.T) {
+	tp := topo.MustNew(topo.PaperTestbed())
+	m := NewMaster(tp, Static, sim.NewRand(1))
+	leaf := tp.PortAt(0, 0, 0).Leaf
+	leaf.Ups[0].SetUp(false)
+	leaf.Ups[1].SetUp(false)
+	for i := 0; i < 12; i++ {
+		as, err := m.Connect(req(0, 4, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := as.Path.Spine.Index; s == 0 || s == 1 {
+			t.Fatalf("allocated over dead uplink to spine %d", s)
+		}
+		m.Release(as)
+	}
+}
+
+func TestConnectNoHealthySpine(t *testing.T) {
+	tp := topo.MustNew(topo.PaperTestbed())
+	m := NewMaster(tp, Static, sim.NewRand(1))
+	leaf := tp.PortAt(0, 0, 0).Leaf
+	for _, up := range leaf.Ups {
+		up.SetUp(false)
+	}
+	if _, err := m.Connect(req(0, 4, 0)); err == nil {
+		t.Fatal("expected error with all uplinks dead")
+	}
+	// The other plane still works.
+	if _, err := m.Connect(req(0, 4, 1)); err != nil {
+		t.Fatalf("plane 1 should still allocate: %v", err)
+	}
+}
+
+func TestReleaseDecrementsLoad(t *testing.T) {
+	tp := topo.MustNew(topo.PaperTestbed())
+	m := NewMaster(tp, Static, sim.NewRand(1))
+	as, err := m.Connect(req(0, 4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := as.Path.SrcPort.Leaf.Ups[as.Path.Spine.Index]
+	if m.LinkLoad(up) != 1 {
+		t.Fatalf("load = %d after connect", m.LinkLoad(up))
+	}
+	m.Release(as)
+	if m.LinkLoad(up) != 0 {
+		t.Fatalf("load = %d after release", m.LinkLoad(up))
+	}
+	m.Release(as) // double release is a no-op
+	if m.LinkLoad(up) != 0 {
+		t.Fatal("double release corrupted load")
+	}
+	m.Release(nil) // nil release is a no-op
+}
+
+func TestSameGroupDirectPath(t *testing.T) {
+	tp := topo.MustNew(topo.PaperTestbed())
+	m := NewMaster(tp, Static, sim.NewRand(1))
+	as, err := m.Connect(req(0, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !as.Path.SameLeaf() {
+		t.Fatalf("same-group allocation should stay under the leaf: %v", as.Path)
+	}
+	if as.Path.CrossPlane() {
+		t.Fatal("same-leaf path crossed planes")
+	}
+}
+
+func TestStaticRepairUsesECMPFallback(t *testing.T) {
+	tp := topo.MustNew(topo.PaperTestbed())
+	m := NewMaster(tp, Static, sim.NewRand(1))
+	as, err := m.Connect(req(0, 4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spine := as.Path.Spine.Index
+	up := as.Path.SrcPort.Leaf.Ups[spine]
+	up.SetUp(false)
+	re, err := m.Repair(req(0, 4, 0), as)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Path.Spine.Index == spine {
+		t.Fatal("repair reused the dead spine")
+	}
+	// Static repairs are untracked: the master's load map must be clean.
+	if _, ok := re.Token.([]int); ok && len(re.Token.([]int)) > 0 {
+		t.Fatal("static repair should not be master-tracked")
+	}
+	_, _, repairs := m.Stats()
+	if repairs != 1 {
+		t.Fatalf("repairs = %d", repairs)
+	}
+}
+
+func TestDynamicRepairReallocatesLeastLoaded(t *testing.T) {
+	tp := topo.MustNew(topo.PaperTestbed())
+	m := NewMaster(tp, Dynamic, sim.NewRand(1))
+	// Fill spines 1..7 with one QP each from the same leaf pair; spine 0
+	// holds the victim.
+	victim, err := m.Connect(req(0, 4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var others []*accl.Assignment
+	for i := 0; i < 6; i++ {
+		as, err := m.Connect(req(0, 4, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		others = append(others, as)
+	}
+	// Kill the victim's uplink; dynamic repair must pick the one spine
+	// with no allocation yet (the 8th).
+	used := map[int]bool{victim.Path.Spine.Index: true}
+	for _, as := range others {
+		used[as.Path.Spine.Index] = true
+	}
+	free := -1
+	for s := 0; s < tp.Spec.Spines; s++ {
+		if !used[s] {
+			free = s
+		}
+	}
+	if free < 0 {
+		t.Fatal("setup: expected a free spine")
+	}
+	victim.Path.SrcPort.Leaf.Ups[victim.Path.Spine.Index].SetUp(false)
+	re, err := m.Repair(req(0, 4, 0), victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Path.Spine.Index != free {
+		t.Fatalf("dynamic repair chose spine %d, want least-loaded %d", re.Path.Spine.Index, free)
+	}
+}
+
+func TestSportSteersChosenPath(t *testing.T) {
+	tp := topo.MustNew(topo.PaperTestbed())
+	m := NewMaster(tp, Static, sim.NewRand(1))
+	as, err := m.Connect(req(0, 4, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feeding the discovered sport back through the fabric's own ECMP
+	// must land on the allocated path: that is the probing contract.
+	routed, err := netsim.Route(tp, 0, 4, 0, 0, as.Sport)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if routed.String() != as.Path.String() {
+		t.Fatalf("sport %d routes to %v, allocation says %v", as.Sport, routed, as.Path)
+	}
+}
+
+func TestProbeFindsDeadLinks(t *testing.T) {
+	tp := topo.MustNew(topo.PaperTestbed())
+	m := NewMaster(tp, Static, sim.NewRand(1))
+	rep := m.Probe(0)
+	if len(rep.DeadLinks) != 0 {
+		t.Fatalf("healthy fabric reported dead links: %v", rep.DeadLinks)
+	}
+	wantHealthy := topo.Planes * tp.Spec.Groups() * tp.Spec.Spines * 2
+	if rep.HealthyPaths != wantHealthy {
+		t.Fatalf("healthy paths = %d, want %d", rep.HealthyPaths, wantHealthy)
+	}
+	dead := tp.LeafAt(0, 0, 3).Ups[5]
+	dead.SetUp(false)
+	rep = m.Probe(0)
+	if len(rep.DeadLinks) != 1 || rep.DeadLinks[0] != dead.Name {
+		t.Fatalf("probe missed the dead link: %v", rep.DeadLinks)
+	}
+	if got := len(m.ProbeAll()); got != tp.Spec.Rails {
+		t.Fatalf("ProbeAll reports = %d", got)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" {
+		t.Fatal("mode labels wrong")
+	}
+}

@@ -1,0 +1,187 @@
+// Package ckpt implements the checkpointing subsystem the C4 paper leans
+// on for fast recovery (§II-C): after C4D shrank detection and diagnosis
+// to seconds, the dominant remaining cost is the work lost since the last
+// checkpoint, so the deployment adopted frequent (≈10-minute / every ~10
+// iterations) in-memory checkpoints in the style of Gemini [53].
+//
+// The manager models a two-tier scheme:
+//
+//   - in-memory snapshot: cheap (sub-second stall), kept on the host RAM
+//     of the node and a peer, taken every Interval iterations;
+//   - persistent flush: a background copy to remote storage every
+//     PersistEvery snapshots, which survives correlated node loss.
+//
+// Recovery restores the newest snapshot that survives the failure: the
+// in-memory one unless the failure took its replicas, else the persistent
+// one.
+package ckpt
+
+import (
+	"fmt"
+
+	"c4/internal/sim"
+)
+
+// Config tunes the checkpoint manager.
+type Config struct {
+	// Interval is the number of iterations between in-memory snapshots.
+	Interval int
+	// SaveStall is the training stall per in-memory snapshot (the copy to
+	// host memory is synchronous for consistency; Gemini measures <1 s).
+	SaveStall sim.Time
+	// PersistEvery is how many in-memory snapshots between persistent
+	// flushes (0 disables persistence).
+	PersistEvery int
+	// PersistTime is the background flush duration; a snapshot is only
+	// crash-proof once its flush completes.
+	PersistTime sim.Time
+	// Replicas is the number of nodes holding each in-memory snapshot
+	// (self + peers). A failure wiping all replicas forces a fall back to
+	// the last persisted snapshot.
+	Replicas int
+}
+
+// DefaultConfig mirrors the paper's deployment: a snapshot every 10
+// iterations, ~0.5 s stall, persisted every 6 snapshots.
+func DefaultConfig() Config {
+	return Config{
+		Interval:     10,
+		SaveStall:    500 * sim.Millisecond,
+		PersistEvery: 6,
+		PersistTime:  30 * sim.Second,
+		Replicas:     2,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Interval <= 0 {
+		c.Interval = d.Interval
+	}
+	if c.SaveStall < 0 {
+		c.SaveStall = 0
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = d.Replicas
+	}
+	if c.PersistEvery < 0 {
+		c.PersistEvery = 0
+	}
+	return c
+}
+
+// Snapshot is one saved training state.
+type Snapshot struct {
+	Iteration int
+	TakenAt   sim.Time
+	// Holders are the nodes keeping the in-memory copy.
+	Holders []int
+	// Persisted reports whether the background flush completed.
+	Persisted   bool
+	PersistedAt sim.Time
+}
+
+// Manager tracks snapshots for one job.
+type Manager struct {
+	cfg Config
+	eng *sim.Engine
+
+	snaps     []Snapshot
+	sinceLast int
+	saves     int
+	persisted int
+}
+
+// NewManager creates a manager bound to the engine.
+func NewManager(eng *sim.Engine, cfg Config) *Manager {
+	return &Manager{cfg: cfg.withDefaults(), eng: eng}
+}
+
+// Config returns the effective configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Saves reports the number of snapshots taken.
+func (m *Manager) Saves() int { return m.saves }
+
+// OnIteration is called by the job after each completed iteration; it
+// returns the stall to add to the next iteration (zero unless a snapshot
+// was due). holders are the nodes replicating this snapshot (typically the
+// saving node plus a ring peer).
+func (m *Manager) OnIteration(iter int, holders []int) sim.Time {
+	m.sinceLast++
+	if m.sinceLast < m.cfg.Interval {
+		return 0
+	}
+	m.sinceLast = 0
+	m.saves++
+	snap := Snapshot{
+		Iteration: iter,
+		TakenAt:   m.eng.Now(),
+		Holders:   append([]int(nil), holders...),
+	}
+	idx := len(m.snaps)
+	m.snaps = append(m.snaps, snap)
+	if m.cfg.PersistEvery > 0 && m.saves%m.cfg.PersistEvery == 0 {
+		m.eng.After(m.cfg.PersistTime, func() {
+			m.snaps[idx].Persisted = true
+			m.snaps[idx].PersistedAt = m.eng.Now()
+			m.persisted++
+		})
+	}
+	return m.cfg.SaveStall
+}
+
+// Latest returns the newest snapshot, persisted or not; ok is false when
+// no snapshot exists yet.
+func (m *Manager) Latest() (Snapshot, bool) {
+	if len(m.snaps) == 0 {
+		return Snapshot{}, false
+	}
+	return m.snaps[len(m.snaps)-1], true
+}
+
+// Restore returns the newest snapshot that survives the loss of
+// failedNode: an in-memory snapshot survives if any holder is alive, else
+// the newest persisted snapshot is used. ok is false if nothing survives
+// (restart from iteration 0).
+func (m *Manager) Restore(failedNode int) (Snapshot, bool) {
+	for i := len(m.snaps) - 1; i >= 0; i-- {
+		s := m.snaps[i]
+		if s.Persisted {
+			return s, true
+		}
+		alive := false
+		for _, h := range s.Holders {
+			if h != failedNode {
+				alive = true
+				break
+			}
+		}
+		if alive {
+			return s, true
+		}
+	}
+	return Snapshot{}, false
+}
+
+// LostIterations reports how many iterations of work a crash at the given
+// iteration loses, after restoring around failedNode.
+func (m *Manager) LostIterations(crashIter, failedNode int) int {
+	s, ok := m.Restore(failedNode)
+	if !ok {
+		return crashIter
+	}
+	lost := crashIter - s.Iteration
+	if lost < 0 {
+		lost = 0
+	}
+	return lost
+}
+
+func (s Snapshot) String() string {
+	kind := "in-memory"
+	if s.Persisted {
+		kind = "persisted"
+	}
+	return fmt.Sprintf("snapshot@iter%d (%s, holders %v)", s.Iteration, kind, s.Holders)
+}

@@ -1,0 +1,127 @@
+package ckpt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"c4/internal/sim"
+)
+
+func TestSnapshotCadence(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewManager(eng, Config{Interval: 10, SaveStall: sim.Second})
+	stalls := 0
+	for i := 1; i <= 100; i++ {
+		if d := m.OnIteration(i, []int{0, 1}); d > 0 {
+			if d != sim.Second {
+				t.Fatalf("stall = %v", d)
+			}
+			stalls++
+		}
+	}
+	if stalls != 10 || m.Saves() != 10 {
+		t.Fatalf("stalls = %d, saves = %d, want 10", stalls, m.Saves())
+	}
+	s, ok := m.Latest()
+	if !ok || s.Iteration != 100 {
+		t.Fatalf("latest = %+v", s)
+	}
+}
+
+func TestRestoreSurvivingHolder(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewManager(eng, Config{Interval: 5, PersistEvery: 0})
+	for i := 1; i <= 20; i++ {
+		m.OnIteration(i, []int{3, 7})
+	}
+	// Node 3 dies; node 7 still holds the newest snapshot.
+	s, ok := m.Restore(3)
+	if !ok || s.Iteration != 20 {
+		t.Fatalf("restore = %+v ok=%v", s, ok)
+	}
+	if got := m.LostIterations(23, 3); got != 3 {
+		t.Fatalf("lost = %d, want 3", got)
+	}
+}
+
+func TestRestoreFallsBackToPersisted(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewManager(eng, Config{
+		Interval: 5, PersistEvery: 2, PersistTime: sim.Second, Replicas: 1,
+	})
+	// Snapshots at iters 5,10,15,20; flushes start after 10 and 20.
+	for i := 1; i <= 20; i++ {
+		m.OnIteration(i, []int{4}) // single holder: node 4
+		eng.RunFor(10 * sim.Second)
+	}
+	// Node 4 dies: all in-memory copies gone; newest persisted is iter 20.
+	s, ok := m.Restore(4)
+	if !ok {
+		t.Fatal("expected persisted snapshot")
+	}
+	if !s.Persisted || s.Iteration != 20 {
+		t.Fatalf("restore = %+v", s)
+	}
+}
+
+func TestRestoreNothingSurvives(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewManager(eng, Config{Interval: 5, PersistEvery: 0, Replicas: 1})
+	for i := 1; i <= 10; i++ {
+		m.OnIteration(i, []int{2})
+	}
+	if _, ok := m.Restore(2); ok {
+		t.Fatal("nothing should survive sole-holder loss")
+	}
+	if got := m.LostIterations(12, 2); got != 12 {
+		t.Fatalf("lost = %d, want all 12", got)
+	}
+}
+
+func TestPersistIsAsynchronous(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewManager(eng, Config{Interval: 1, PersistEvery: 1, PersistTime: sim.Minute, Replicas: 1})
+	m.OnIteration(1, []int{0})
+	s, _ := m.Latest()
+	if s.Persisted {
+		t.Fatal("snapshot persisted before flush completed")
+	}
+	eng.RunFor(2 * sim.Minute)
+	s, _ = m.Latest()
+	if !s.Persisted {
+		t.Fatal("flush never completed")
+	}
+	if s.PersistedAt != sim.Minute {
+		t.Fatalf("persisted at %v", s.PersistedAt)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	m := NewManager(sim.NewEngine(), Config{})
+	cfg := m.Config()
+	if cfg.Interval != 10 || cfg.Replicas != 2 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if (Snapshot{Iteration: 3, Holders: []int{1}}).String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+// Property: lost work never exceeds the checkpoint interval plus the
+// persistence lag when a surviving holder exists.
+func TestBoundedLossProperty(t *testing.T) {
+	f := func(seed int64, iters uint8) bool {
+		eng := sim.NewEngine()
+		interval := 1 + int(seed%7+7)%7 + 1 // 2..8
+		m := NewManager(eng, Config{Interval: interval, PersistEvery: 0})
+		n := int(iters)%200 + interval
+		for i := 1; i <= n; i++ {
+			m.OnIteration(i, []int{0, 1}) // node 1 always survives
+		}
+		lost := m.LostIterations(n, 0)
+		return lost < interval
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package cluster models the compute-side hardware of an AI training
+// cluster — machines, GPUs, NICs and their failure modes — and provides the
+// fault injector that reproduces the error population of the paper's
+// production deployment (Table I: cause mix, locality, and user-visible
+// symptom).
+package cluster
+
+import (
+	"fmt"
+
+	"c4/internal/sim"
+)
+
+// FaultKind is a root cause, matching Table I's rows plus the non-critical
+// degradation modes analyzed in §III-A (slow nodes / slow NICs).
+type FaultKind int
+
+// Root causes.
+const (
+	// FaultCUDAError is a GPU driver/runtime error; crashes the worker.
+	FaultCUDAError FaultKind = iota
+	// FaultECCNVLink is a GPU memory ECC or NVLink error; crashes the worker.
+	FaultECCNVLink
+	// FaultNCCLTimeout is a collective-library timeout.
+	FaultNCCLTimeout
+	// FaultACKTimeout is an RDMA transport acknowledgment timeout.
+	FaultACKTimeout
+	// FaultNetworkOther covers link/switch failures and other network errors.
+	FaultNetworkOther
+	// FaultGPUDegrade is a non-critical slow GPU (straggler source).
+	FaultGPUDegrade
+	// FaultNICTxDegrade halves a NIC's effective transmit bandwidth.
+	FaultNICTxDegrade
+	// FaultNICRxDegrade halves a NIC's effective receive bandwidth.
+	FaultNICRxDegrade
+	numFaultKinds
+)
+
+// String returns the root-cause label used in the paper's tables.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCUDAError:
+		return "CUDA Error"
+	case FaultECCNVLink:
+		return "ECC/NVLink Error"
+	case FaultNCCLTimeout:
+		return "NCCL timeout"
+	case FaultACKTimeout:
+		return "ACK timeout"
+	case FaultNetworkOther:
+		return "Others"
+	case FaultGPUDegrade:
+		return "GPU degrade"
+	case FaultNICTxDegrade:
+		return "NIC Tx degrade"
+	case FaultNICRxDegrade:
+		return "NIC Rx degrade"
+	}
+	return "unknown"
+}
+
+// UserView is the symptom the user sees, which Table I shows is nearly
+// useless for root-causing: almost everything surfaces as "NCCL Error".
+func (k FaultKind) UserView() string {
+	switch k {
+	case FaultNetworkOther:
+		return "Network Error"
+	case FaultGPUDegrade, FaultNICTxDegrade, FaultNICRxDegrade:
+		return "Slow Iterations"
+	default:
+		return "NCCL Error"
+	}
+}
+
+// Critical reports whether the fault crashes the job (vs degrading it).
+func (k FaultKind) Critical() bool {
+	switch k {
+	case FaultGPUDegrade, FaultNICTxDegrade, FaultNICRxDegrade:
+		return false
+	}
+	return true
+}
+
+// Fault is one injected hardware/software event.
+type Fault struct {
+	Kind FaultKind
+	Node int
+	Time sim.Time
+	// Local reports whether the root cause is confined to the node (and so
+	// can be fixed by isolating it). Matches Table I's "Local" column.
+	Local bool
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%v@n%d t=%v local=%v", f.Kind, f.Node, f.Time, f.Local)
+}
+
+// GPU is one accelerator's health state.
+type GPU struct {
+	Healthy bool
+	// Perf scales compute speed; 1.0 is nominal, lower is a straggler.
+	Perf float64
+}
+
+// Machine is one compute node.
+type Machine struct {
+	ID       int
+	GPUs     []GPU
+	Healthy  bool
+	Isolated bool
+}
+
+// Perf reports the machine's effective compute factor: the slowest healthy
+// GPU gates BSP compute.
+func (m *Machine) Perf() float64 {
+	p := 1.0
+	for _, g := range m.GPUs {
+		if g.Healthy && g.Perf < p {
+			p = g.Perf
+		}
+	}
+	return p
+}
+
+// Cluster is the fleet plus the backup pool: the paper provisions 64 spare
+// GPUs per 1024 (8 spare servers per 128) so an isolated node can be
+// replaced without shrinking the job.
+type Cluster struct {
+	Machines []*Machine
+	spares   []int
+}
+
+// NewCluster builds n healthy machines with g GPUs each, plus `spares`
+// backup machines appended after the primaries.
+func NewCluster(n, g, spares int) *Cluster {
+	c := &Cluster{}
+	for i := 0; i < n+spares; i++ {
+		m := &Machine{ID: i, Healthy: true, GPUs: make([]GPU, g)}
+		for j := range m.GPUs {
+			m.GPUs[j] = GPU{Healthy: true, Perf: 1}
+		}
+		c.Machines = append(c.Machines, m)
+		if i >= n {
+			c.spares = append(c.spares, i)
+		}
+	}
+	return c
+}
+
+// SpareCount reports remaining backup machines.
+func (c *Cluster) SpareCount() int { return len(c.spares) }
+
+// Isolate removes a machine from service and returns a replacement from
+// the backup pool, or -1 if the pool is empty.
+func (c *Cluster) Isolate(node int) (replacement int) {
+	m := c.Machines[node]
+	m.Isolated = true
+	m.Healthy = false
+	if len(c.spares) == 0 {
+		return -1
+	}
+	r := c.spares[0]
+	c.spares = c.spares[1:]
+	return r
+}
+
+// Restore returns a repaired machine to the backup pool.
+func (c *Cluster) Restore(node int) {
+	m := c.Machines[node]
+	m.Isolated = false
+	m.Healthy = true
+	for j := range m.GPUs {
+		m.GPUs[j] = GPU{Healthy: true, Perf: 1}
+	}
+	c.spares = append(c.spares, node)
+}

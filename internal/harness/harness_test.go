@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"c4/internal/topo"
+)
+
+// Every experiment must pass its own shape check: these are the paper's
+// qualitative claims (who wins, by roughly what factor, where crossovers
+// fall) asserted against the simulated reproduction.
+
+func TestTableIShape(t *testing.T) {
+	r := RunTableI(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+	if !strings.Contains(r.String(), "NCCL Error") {
+		t.Fatal("rendering missing user-view column")
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	r := RunTableIII(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+	out := r.String()
+	for _, want := range []string{"Post-Checkpoint", "Diagnosis", "reduction"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale sweep is slow")
+	}
+	r := RunFig3(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r := RunFig9(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+}
+
+func TestFig10Shapes(t *testing.T) {
+	for _, spines := range []int{8, 4} {
+		r := RunFig10(1, spines)
+		if err := r.CheckShape(); err != nil {
+			t.Fatalf("spines=%d: %v\n%s", spines, err, r)
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	r := RunFig11(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+	if len(r.Ports) != 16 {
+		t.Fatalf("ports = %d, want 16", len(r.Ports))
+	}
+	for _, s := range r.Ports {
+		if s.Len() < 40 {
+			t.Fatalf("series %s too short: %d samples", s.Name, s.Len())
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	r := RunFig12(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+	// Static must be clearly hurt relative to dynamic (the paper's 62.3%).
+	if r.Dynamic.PostFailAvg/r.Static.PostFailAvg < 1.2 {
+		t.Fatalf("dynamic/static post-failure ratio too small:\n%s", r)
+	}
+}
+
+func TestFig13Shape(t *testing.T) {
+	r := RunFig13(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("job sweep is slow")
+	}
+	r := RunFig14(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+}
+
+func TestPipelineShape(t *testing.T) {
+	r := RunPipeline(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+}
+
+func TestSeedsAreDeterministic(t *testing.T) {
+	a, b := RunFig9(7), RunFig9(7)
+	for i := range a.GPUs {
+		if a.Baseline[i] != b.Baseline[i] || a.C4P[i] != b.C4P[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestDifferentSeedsVaryBaseline(t *testing.T) {
+	a, b := RunFig10(3, 8), RunFig10(4, 8)
+	same := true
+	for i := range a.Baseline {
+		if a.Baseline[i] != b.Baseline[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical ECMP baselines")
+	}
+}
+
+func TestInterleavedNodes(t *testing.T) {
+	got := interleavedNodes(4)
+	want := []int{0, 8, 1, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleavedNodes(4) = %v", got)
+		}
+	}
+	spec := topo.MultiJobTestbed(8)
+	tp := topo.MustNew(spec)
+	nodes := interleavedNodes(16)
+	for i := 0; i+1 < len(nodes); i++ {
+		if tp.Group(nodes[i]) == tp.Group(nodes[i+1]) {
+			t.Fatalf("adjacent ring nodes %d,%d share a group", nodes[i], nodes[i+1])
+		}
+	}
+}
+
+func TestProviderKinds(t *testing.T) {
+	e := NewEnv(topo.MultiJobTestbed(8))
+	for _, k := range []ProviderKind{Baseline, C4PStatic, C4PDynamic} {
+		if e.NewProvider(k, 1) == nil {
+			t.Fatalf("provider %v is nil", k)
+		}
+		if k.String() == "unknown" {
+			t.Fatalf("provider %v has no label", k)
+		}
+	}
+}
+
+func TestPlaneRuleAblationShape(t *testing.T) {
+	r := RunPlaneRuleAblation(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+}
+
+func TestAlgoCrossoverShape(t *testing.T) {
+	r := RunAlgoCrossover(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+}
+
+func TestCkptSweepShape(t *testing.T) {
+	r := RunCkptSweep(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+}
+
+func TestKappaSweepShape(t *testing.T) {
+	r := RunKappaSweep(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+}
+
+func TestQPSweepShape(t *testing.T) {
+	r := RunQPSweep(1)
+	if err := r.CheckShape(); err != nil {
+		t.Fatalf("%v\n%s", err, r)
+	}
+}

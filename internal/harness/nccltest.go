@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"fmt"
+
+	"c4/internal/accl"
+	"c4/internal/metrics"
+	"c4/internal/sim"
+)
+
+// BenchConfig describes one "nccltest"-style collective benchmark: a ring
+// allreduce repeated back-to-back, reporting per-iteration bus bandwidth —
+// the tool behind Figs 9, 10 and 12.
+type BenchConfig struct {
+	Nodes      []int
+	Bytes      float64 // payload per iteration
+	Iters      int     // 0 = run until Until
+	Until      sim.Time
+	Provider   accl.PathProvider
+	QPsPerConn int
+	Adaptive   bool
+	Seed       int64
+}
+
+// Bench is a running collective benchmark.
+type Bench struct {
+	Comm   *accl.Communicator
+	Series *metrics.Series // busbw (Gbps) per iteration, timestamped at completion
+	stop   bool
+}
+
+// StartBench launches the benchmark loop on the environment; iterations
+// run back-to-back until the configured count or deadline.
+func StartBench(e *Env, cfg BenchConfig) (*Bench, error) {
+	comm, err := accl.NewCommunicator(accl.Config{
+		Engine: e.Eng, Net: e.Net, Provider: cfg.Provider,
+		Rails: []int{0}, QPsPerConn: cfg.QPsPerConn,
+		AdaptiveWeights: cfg.Adaptive,
+		Rand:            sim.NewRand(cfg.Seed),
+	}, cfg.Nodes)
+	if err != nil {
+		return nil, fmt.Errorf("harness: bench communicator: %w", err)
+	}
+	b := &Bench{Comm: comm, Series: &metrics.Series{Name: "busbw_gbps"}}
+	done := 0
+	var iterate func()
+	iterate = func() {
+		if b.stop {
+			return
+		}
+		if cfg.Iters > 0 && done >= cfg.Iters {
+			return
+		}
+		if cfg.Until > 0 && e.Eng.Now() >= cfg.Until {
+			return
+		}
+		comm.AllReduce(cfg.Bytes, nil, func(r accl.Result) {
+			done++
+			b.Series.Add(r.End.Seconds(), r.BusGbps)
+			iterate()
+		})
+	}
+	iterate()
+	return b, nil
+}
+
+// Stop halts the loop after the in-flight iteration.
+func (b *Bench) Stop() { b.stop = true }
+
+// MeanBusGbps is the benchmark's average bus bandwidth.
+func (b *Bench) MeanBusGbps() float64 { return b.Series.Mean() }

@@ -1,0 +1,287 @@
+// Package job runs simulated distributed-training jobs over the ACCL
+// collective layer: BSP iterations of compute followed by data-parallel
+// gradient synchronization, with per-node jitter, injectable stragglers,
+// and node replacement — the workload generator behind Figs 3 and 14 and
+// the live C4D→steering pipeline.
+package job
+
+import (
+	"fmt"
+
+	"c4/internal/accl"
+	"c4/internal/netsim"
+	"c4/internal/sim"
+	"c4/internal/workload"
+)
+
+// Config wires a job to the simulated cluster.
+type Config struct {
+	Engine   *sim.Engine
+	Net      *netsim.Network
+	Provider accl.PathProvider
+	Sink     accl.StatsSink // may be nil
+	Rails    []int
+	Rand     *sim.Rand
+	Spec     workload.JobSpec
+	// Stepwise selects chunked collectives (needed when a C4D fleet wants
+	// per-step transport records).
+	Stepwise bool
+	// AdaptiveWeights enables ACCL's path re-weighting (C4P dynamic mode).
+	AdaptiveWeights bool
+	// QPsPerConn sets the QP count per connection (default 2, one per
+	// physical port; production CCLs open several per port).
+	QPsPerConn int
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	Iters         int
+	TotalTime     sim.Time
+	AvgIter       sim.Time
+	SamplesPerSec float64
+	IterTimes     []sim.Time
+}
+
+// Job is a running training job.
+type Job struct {
+	cfg    Config
+	nodes  []int
+	groups [][]int
+	comms  []*accl.Communicator
+	rand   *sim.Rand
+
+	stragglers map[int]sim.Time
+	running    bool
+	itersLeft  int
+	iterStart  sim.Time
+	runStart   sim.Time
+	iterTimes  []sim.Time
+	onDone     func(Report)
+	onIter     func(int, sim.Time)
+}
+
+// New validates the spec and opens the job's communicators (one per
+// pipeline stage's DP group).
+func New(cfg Config) (*Job, error) {
+	if cfg.Engine == nil || cfg.Net == nil || cfg.Provider == nil {
+		return nil, fmt.Errorf("job: Engine, Net and Provider are required")
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = sim.NewRand(17)
+	}
+	groups, err := cfg.Spec.DPGroups()
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{
+		cfg:        cfg,
+		nodes:      append([]int(nil), cfg.Spec.Nodes...),
+		groups:     groups,
+		rand:       cfg.Rand.Fork(),
+		stragglers: make(map[int]sim.Time),
+	}
+	if err := j.openComms(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Job) openComms() error {
+	for _, c := range j.comms {
+		c.Close()
+	}
+	j.comms = j.comms[:0]
+	for _, g := range j.groups {
+		if len(g) < 2 {
+			j.comms = append(j.comms, nil) // DP=1: nothing to synchronize
+			continue
+		}
+		c, err := accl.NewCommunicator(accl.Config{
+			Engine: j.cfg.Engine, Net: j.cfg.Net, Provider: j.cfg.Provider,
+			Sink: j.cfg.Sink, Rails: j.cfg.Rails, Rand: j.rand,
+			Stepwise: j.cfg.Stepwise, AdaptiveWeights: j.cfg.AdaptiveWeights,
+			QPsPerConn: j.cfg.QPsPerConn,
+		}, g)
+		if err != nil {
+			return err
+		}
+		j.comms = append(j.comms, c)
+	}
+	return nil
+}
+
+// Nodes returns the job's current node assignment.
+func (j *Job) Nodes() []int { return append([]int(nil), j.nodes...) }
+
+// SetStraggler adds a fixed per-iteration compute delay to a node
+// (non-communication-slow injection).
+func (j *Job) SetStraggler(node int, extra sim.Time) { j.stragglers[node] = extra }
+
+// SetCrashed marks a node crashed in every communicator: it stops arriving
+// at collectives and the job hangs, exactly like a dead worker process.
+func (j *Job) SetCrashed(node int, crashed bool) {
+	for _, c := range j.comms {
+		if c != nil {
+			c.SetCrashed(node, crashed)
+		}
+	}
+}
+
+// OnIteration registers a per-iteration callback (iter index, duration).
+func (j *Job) OnIteration(f func(int, sim.Time)) { j.onIter = f }
+
+// IterTimes returns completed iteration durations.
+func (j *Job) IterTimes() []sim.Time { return append([]sim.Time(nil), j.iterTimes...) }
+
+// Run executes `iters` iterations, then reports. A job hangs forever if a
+// member crashes mid-run (BSP semantics); Stop or ReplaceNode unblocks it.
+func (j *Job) Run(iters int, onDone func(Report)) {
+	if j.running {
+		panic("job: Run while already running")
+	}
+	j.running = true
+	j.itersLeft = iters
+	j.onDone = onDone
+	j.runStart = j.cfg.Engine.Now()
+	j.iterate()
+}
+
+// Stop halts the job after the current collective completes.
+func (j *Job) Stop() { j.running = false }
+
+// Running reports whether the job loop is active.
+func (j *Job) Running() bool { return j.running }
+
+// iterate runs one optimizer step: compute (GA micro-batches + pipeline
+// bubble) with per-node jitter, then gradient sync per DP group.
+func (j *Job) iterate() {
+	if !j.running || j.itersLeft <= 0 {
+		j.finish()
+		return
+	}
+	j.iterStart = j.cfg.Engine.Now()
+	base := j.cfg.Spec.IterComputeTime()
+
+	pending := 0
+	var lastEnd sim.Time
+	groupDone := func(end sim.Time) {
+		if end > lastEnd {
+			lastEnd = end
+		}
+		pending--
+		if pending > 0 {
+			return
+		}
+		dur := lastEnd - j.iterStart
+		j.iterTimes = append(j.iterTimes, dur)
+		j.itersLeft--
+		if j.onIter != nil {
+			j.onIter(len(j.iterTimes)-1, dur)
+		}
+		j.iterate()
+	}
+
+	bytes := j.cfg.Spec.Model.GradBytesPerRank(j.cfg.Spec.Par)
+	anyComm := false
+	var maxArrive sim.Time
+	for gi, g := range j.groups {
+		arr := make([]sim.Time, len(g))
+		for i, n := range g {
+			c := sim.Time(float64(base) * (1 + j.cfg.Spec.ComputeJitter*j.rand.NormFloat64()))
+			if c < 0 {
+				c = 0
+			}
+			arr[i] = j.iterStart + c + j.stragglers[n]
+			if arr[i] > maxArrive {
+				maxArrive = arr[i]
+			}
+		}
+		comm := j.comms[gi]
+		if comm == nil {
+			continue
+		}
+		anyComm = true
+		pending++
+		if j.cfg.Spec.Par.ZeRO {
+			// DeepSpeed ZeRO: reduce-scatter gradients, then allgather
+			// updated parameters — same total volume as allreduce, two
+			// dependent phases.
+			comm.ReduceScatter(bytes, arr, func(accl.Result) {
+				comm.AllGather(bytes, nil, func(r accl.Result) {
+					groupDone(r.End)
+				})
+			})
+		} else {
+			comm.AllReduce(bytes, arr, func(r accl.Result) {
+				groupDone(r.End)
+			})
+		}
+	}
+	if !anyComm {
+		// Single-replica job: the iteration is pure compute.
+		j.cfg.Engine.Schedule(maxArrive, func() { groupDone(maxArrive) })
+		pending++
+	}
+}
+
+func (j *Job) finish() {
+	j.running = false
+	if j.onDone == nil {
+		return
+	}
+	rep := Report{
+		Iters:     len(j.iterTimes),
+		TotalTime: j.cfg.Engine.Now() - j.runStart,
+		IterTimes: append([]sim.Time(nil), j.iterTimes...),
+	}
+	if rep.Iters > 0 {
+		var sum sim.Time
+		for _, t := range j.iterTimes {
+			sum += t
+		}
+		rep.AvgIter = sum / sim.Time(rep.Iters)
+		if rep.AvgIter > 0 {
+			rep.SamplesPerSec = j.cfg.Spec.SamplesPerIter / rep.AvgIter.Seconds()
+		}
+	}
+	cb := j.onDone
+	j.onDone = nil
+	cb(rep)
+}
+
+// ReplaceNode swaps a (failed, isolated) node for a replacement and
+// reopens the affected communicators — the steering service's restart
+// path. The job must be stopped.
+func (j *Job) ReplaceNode(old, repl int) error {
+	if j.running {
+		return fmt.Errorf("job: replace node while running")
+	}
+	found := false
+	for i, n := range j.nodes {
+		if n == old {
+			j.nodes[i] = repl
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("job: node %d not in job", old)
+	}
+	for gi, g := range j.groups {
+		for i, n := range g {
+			if n == old {
+				j.groups[gi][i] = repl
+			}
+		}
+	}
+	delete(j.stragglers, old)
+	return j.openComms()
+}
+
+// Close releases all communicators.
+func (j *Job) Close() {
+	for _, c := range j.comms {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSVWriter emits the time-series CSV files that the paper's C4a agents
+// ship to the master (comm-stats.csv, coll-stats.csv, rank-stats.csv,
+// conn-stats.csv). The schema is column-ordered and stable so the analyzer
+// side can be tested against golden rows.
+type CSVWriter struct {
+	w      *csv.Writer
+	header []string
+	wrote  bool
+}
+
+// NewCSVWriter wraps an io.Writer with the given header.
+func NewCSVWriter(w io.Writer, header ...string) *CSVWriter {
+	return &CSVWriter{w: csv.NewWriter(w), header: header}
+}
+
+// Write emits one row; the header is written lazily before the first row.
+// Values are formatted with %v except float64, which uses full precision.
+func (c *CSVWriter) Write(values ...any) error {
+	if !c.wrote {
+		if err := c.w.Write(c.header); err != nil {
+			return err
+		}
+		c.wrote = true
+	}
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = strconv.FormatFloat(x, 'g', -1, 64)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	if len(row) != len(c.header) {
+		return fmt.Errorf("metrics: row has %d cells, header has %d", len(row), len(c.header))
+	}
+	return c.w.Write(row)
+}
+
+// Flush flushes buffered rows and reports any write error.
+func (c *CSVWriter) Flush() error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// WriteSeries emits a (t,v) series as CSV.
+func WriteSeries(w io.Writer, s *Series) error {
+	cw := NewCSVWriter(w, "t_seconds", s.Name)
+	for _, p := range s.Samples {
+		if err := cw.Write(p.T, p.V); err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
+}

@@ -1,0 +1,295 @@
+// Package metrics provides the measurement plumbing shared by the C4
+// reproduction: time series, histograms, robust statistics (median/MAD, the
+// basis of C4D's slow-detection thresholds), CSV emission matching the
+// paper's comm/coll/rank/conn stats files, and ASCII rendering for the
+// experiment harness.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is one (time, value) observation. Time is in seconds of virtual
+// time so series stay unit-agnostic.
+type Sample struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name    string
+	Samples []Sample
+}
+
+// Add appends an observation.
+func (s *Series) Add(t, v float64) { s.Samples = append(s.Samples, Sample{T: t, V: v}) }
+
+// Len reports the number of samples.
+func (s *Series) Len() int { return len(s.Samples) }
+
+// Values returns just the observation values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Samples))
+	for i, p := range s.Samples {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Last returns the most recent value, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	return s.Samples[len(s.Samples)-1].V
+}
+
+// Mean reports the arithmetic mean of the values (0 when empty).
+func (s *Series) Mean() float64 { return Mean(s.Values()) }
+
+// Min reports the minimum value (0 when empty).
+func (s *Series) Min() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	m := s.Samples[0].V
+	for _, p := range s.Samples[1:] {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Max reports the maximum value (0 when empty).
+func (s *Series) Max() float64 {
+	if len(s.Samples) == 0 {
+		return 0
+	}
+	m := s.Samples[0].V
+	for _, p := range s.Samples[1:] {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Window returns the samples with from <= T < to.
+func (s *Series) Window(from, to float64) []Sample {
+	var out []Sample
+	for _, p := range s.Samples {
+		if p.T >= from && p.T < to {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Mean reports the arithmetic mean (0 when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Min reports the smallest element (0 when empty).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max reports the largest element (0 when empty).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum reports the total of the elements.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Stddev reports the population standard deviation (0 when len < 2).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Median reports the middle value (0 when empty). The input is not mutated.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// MAD reports the median absolute deviation, the robust dispersion measure
+// C4D's analyzers use so a single faulty worker cannot poison the baseline.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// Percentile reports the p-th percentile (p in [0,100]) using linear
+// interpolation. The input is not mutated.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	pos := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Histogram is a fixed-bucket histogram.
+type Histogram struct {
+	Bounds []float64 // ascending upper bounds; final bucket is +Inf
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...float64) *Histogram {
+	return &Histogram{Bounds: bounds, Counts: make([]int, len(bounds)+1)}
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	for i, b := range h.Bounds {
+		if v <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Bounds)]++
+}
+
+// Total reports the observation count.
+func (h *Histogram) Total() int { return h.total }
+
+// Table renders rows of cells with a header, padded for terminals; it is
+// how the harness prints each reproduced paper table.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Bars renders a labeled horizontal bar chart scaled to maxWidth columns;
+// used for figure-shaped results.
+func Bars(labels []string, values []float64, maxWidth int) string {
+	maxV := Max(values)
+	if maxV <= 0 {
+		maxV = 1
+	}
+	lw := 0
+	for _, l := range labels {
+		if len(l) > lw {
+			lw = len(l)
+		}
+	}
+	var b strings.Builder
+	for i, v := range values {
+		n := int(v / maxV * float64(maxWidth))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s | %s %.2f\n", lw, labels[i], strings.Repeat("#", n), v)
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	s := &Series{Name: "bw"}
+	for i := 0; i < 5; i++ {
+		s.Add(float64(i), float64(i*10))
+	}
+	if s.Len() != 5 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Last() != 40 {
+		t.Fatalf("last = %v", s.Last())
+	}
+	if s.Mean() != 20 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	if s.Min() != 0 || s.Max() != 40 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	w := s.Window(1, 3)
+	if len(w) != 2 || w[0].V != 10 || w[1].V != 20 {
+		t.Fatalf("window = %v", w)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	s := &Series{}
+	if s.Last() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+}
+
+func TestMedianAndMAD(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	if got := Median(xs); got != 3 {
+		t.Fatalf("median = %v", got)
+	}
+	// Deviations from 3: 2,1,0,1,97 -> median 1.
+	if got := MAD(xs); got != 1 {
+		t.Fatalf("MAD = %v", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("even median = %v", got)
+	}
+	if Median(nil) != 0 || MAD(nil) != 0 {
+		t.Fatal("empty robust stats should be 0")
+	}
+	// Median must not mutate its input.
+	orig := []float64{3, 1, 2}
+	Median(orig)
+	if orig[0] != 3 {
+		t.Fatal("Median mutated its input")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {-5, 10}, {150, 50},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if got := Stddev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", got)
+	}
+	if Stddev([]float64{1}) != 0 {
+		t.Fatal("single-element stddev should be 0")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1, 10, 100)
+	for _, v := range []float64{0.5, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	want := []int{1, 1, 1, 2}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{{"x", "1"}, {"yyyy", "2"}})
+	if !strings.Contains(out, "long-header") {
+		t.Fatal("missing header")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// All lines padded to the same visual width structure.
+	if !strings.HasPrefix(lines[1], "-") {
+		t.Fatal("missing separator")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"a", "b"}, []float64{1, 2}, 10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatalf("max bar should be full width: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Fatalf("half bar wrong: %q", lines[0])
+	}
+	if Bars([]string{"z"}, []float64{0}, 5) == "" {
+		t.Fatal("zero values should still render")
+	}
+}
+
+func TestCSVWriter(t *testing.T) {
+	var b strings.Builder
+	w := NewCSVWriter(&b, "t", "v")
+	if err := w.Write(1.5, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(2, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "t,v\n1.5,x\n2,3.25\n"
+	if got != want {
+		t.Fatalf("csv = %q, want %q", got, want)
+	}
+	if err := w.Write(1, 2, 3); err == nil {
+		t.Fatal("mismatched row width should error")
+	}
+}
+
+func TestWriteSeries(t *testing.T) {
+	s := &Series{Name: "bw"}
+	s.Add(0, 100)
+	s.Add(1, 200)
+	var b strings.Builder
+	if err := WriteSeries(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "t_seconds,bw\n0,100\n1,200\n" {
+		t.Fatalf("series csv = %q", b.String())
+	}
+}
+
+// Property: percentile is monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 = math.Mod(math.Abs(p1), 100)
+		p2 = math.Mod(math.Abs(p2), 100)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		lo, hi := Percentile(xs, p1), Percentile(xs, p2)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return lo <= hi+1e-9 && lo >= sorted[0]-1e-9 && hi <= sorted[len(sorted)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MAD is invariant under shifting all values by a constant.
+func TestMADShiftInvariantProperty(t *testing.T) {
+	f := func(raw []float64, shiftRaw float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		shift := math.Mod(shiftRaw, 1e6)
+		if math.IsNaN(shift) {
+			shift = 0
+		}
+		shifted := make([]float64, len(xs))
+		for i, v := range xs {
+			shifted[i] = v + shift
+		}
+		return math.Abs(MAD(xs)-MAD(shifted)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,487 @@
+// Package netsim is a deterministic flow-level (fluid) network simulator.
+//
+// Flows traverse a topo.Path and share each unidirectional link max-min
+// fairly, the standard fidelity level for traffic-engineering studies: N
+// greedy flows crossing one 200 Gbps link each progress at 200/N Gbps, which
+// is exactly the traffic-collision behaviour C4 (HPCA'25) sets out to avoid.
+//
+// The simulator is event-driven: whenever the flow set or link state
+// changes, rates are recomputed once (batched per virtual instant) and each
+// flow's completion event is rescheduled analytically. Per-link carried-bit
+// counters feed the switch-port bandwidth figures, and a congestion-
+// notification (CNP) process on saturated links feeds Fig 11.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"c4/internal/sim"
+	"c4/internal/topo"
+)
+
+// Gbps converts gigabits per second to bits per second.
+const Gbps = 1e9
+
+const rateEpsilon = 1e-6
+
+// Config tunes simulator-wide constants.
+type Config struct {
+	// BaseLatency is the fixed per-flow setup+propagation delay applied
+	// before a flow starts moving data.
+	BaseLatency sim.Time
+	// CNPPerSecond is the congestion-notification rate a sender receives
+	// for each fully-contended link on its path, scaled by the contention
+	// factor (flows-1)/flows. At 2:1 oversubscription a flow crosses two
+	// saturated stages (leaf-up and spine-down) at factor 1/2 each, and a
+	// bonded port sums its two plane flows, so 7.5e3 reproduces the ~15k
+	// CNP/s per bonded port of the paper's Fig 11.
+	CNPPerSecond float64
+}
+
+// DefaultConfig returns the calibration used throughout the repository.
+func DefaultConfig() Config {
+	return Config{
+		BaseLatency:  10 * sim.Microsecond,
+		CNPPerSecond: 7.5e3,
+	}
+}
+
+// Flow is one in-flight transfer.
+type Flow struct {
+	ID    int
+	Label string
+	Path  *topo.Path
+
+	// OnComplete fires when the last bit is delivered.
+	OnComplete func(*Flow)
+	// OnPathDown fires when a link on the flow's path fails. The handler
+	// may Reroute or Cancel the flow; if it does neither the flow stalls
+	// at rate zero until the link recovers.
+	OnPathDown func(*Flow)
+
+	sizeBits   float64
+	remaining  float64
+	rate       float64 // bits per second, current allocation
+	cnpRate    float64 // CNPs per second currently being received
+	started    sim.Time
+	admitted   bool
+	done       bool
+	completeEv *sim.Event
+	admitEv    *sim.Event
+}
+
+// Rate reports the flow's current bandwidth allocation in bits/second.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Remaining reports undelivered bits.
+func (f *Flow) Remaining() float64 { return f.remaining }
+
+// SizeBits reports the flow's total size.
+func (f *Flow) SizeBits() float64 { return f.sizeBits }
+
+// Done reports whether the flow has completed or been cancelled.
+func (f *Flow) Done() bool { return f.done }
+
+// Started reports when the flow was submitted.
+func (f *Flow) Started() sim.Time { return f.started }
+
+// Network is the fluid simulator. All methods must be called from the
+// simulation goroutine (inside engine callbacks).
+type Network struct {
+	Engine *sim.Engine
+	Topo   *topo.Topology
+	Cfg    Config
+
+	flows   []*Flow // active flows, insertion order (stable IDs)
+	nextID  int
+	pending *sim.Event // scheduled recompute, nil if none
+
+	// carriedBits accumulates delivered bits per link for bandwidth
+	// sampling (Fig 13); cnpCount accumulates CNPs per physical source
+	// port (Fig 11).
+	carriedBits map[int]float64
+	cnpCount    map[*topo.Port]float64
+	lastSettle  sim.Time
+}
+
+// New creates a simulator bound to an engine and fabric.
+func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Network {
+	return &Network{
+		Engine:      eng,
+		Topo:        t,
+		Cfg:         cfg,
+		carriedBits: make(map[int]float64),
+		cnpCount:    make(map[*topo.Port]float64),
+	}
+}
+
+// StartFlow submits a transfer of sizeBits along path. onComplete may be
+// nil. The returned flow can be rerouted or cancelled.
+func (n *Network) StartFlow(path *topo.Path, sizeBits float64, label string, onComplete func(*Flow)) *Flow {
+	if sizeBits <= 0 {
+		sizeBits = 1 // zero-size control message: deliver after latency
+	}
+	n.nextID++
+	f := &Flow{
+		ID:         n.nextID,
+		Label:      label,
+		Path:       path,
+		OnComplete: onComplete,
+		sizeBits:   sizeBits,
+		remaining:  sizeBits,
+		started:    n.Engine.Now(),
+	}
+	f.admitEv = n.Engine.After(n.Cfg.BaseLatency, func() {
+		f.admitted = true
+		n.flows = append(n.flows, f)
+		n.invalidate()
+	})
+	return f
+}
+
+// Cancel removes a flow without completing it.
+func (n *Network) Cancel(f *Flow) {
+	if f.done {
+		return
+	}
+	f.done = true
+	if f.admitEv != nil {
+		f.admitEv.Cancel()
+	}
+	if f.completeEv != nil {
+		f.completeEv.Cancel()
+	}
+	if f.admitted {
+		n.remove(f)
+		n.invalidate()
+	}
+}
+
+// Reroute moves a live flow onto a new path; remaining bits carry over.
+func (n *Network) Reroute(f *Flow, path *topo.Path) {
+	if f.done {
+		return
+	}
+	n.settle()
+	f.Path = path
+	n.invalidate()
+}
+
+// SetLinkCapacity changes a link's capacity (in Gbps), modeling partial
+// degradations such as a NIC renegotiating to a lower rate or a PCIe width
+// downgrade. Active flows are re-allocated immediately.
+func (n *Network) SetLinkCapacity(l *topo.Link, gbps float64) {
+	if gbps < 0 {
+		gbps = 0
+	}
+	n.settle()
+	l.Gbps = gbps
+	n.invalidate()
+}
+
+// SetLinkUp changes a link's health and notifies affected flows.
+func (n *Network) SetLinkUp(l *topo.Link, up bool) {
+	if l.Up() == up {
+		return
+	}
+	n.settle()
+	l.SetUp(up)
+	if !up {
+		// Copy: handlers may reroute/cancel, mutating n.flows.
+		var hit []*Flow
+		for _, f := range n.flows {
+			for _, pl := range f.Path.Links {
+				if pl == l {
+					hit = append(hit, f)
+					break
+				}
+			}
+		}
+		for _, f := range hit {
+			if !f.done && f.OnPathDown != nil {
+				f.OnPathDown(f)
+			}
+		}
+	}
+	n.invalidate()
+}
+
+// ActiveFlows reports the number of admitted, unfinished flows.
+func (n *Network) ActiveFlows() int { return len(n.flows) }
+
+// CarriedBits reports cumulative bits delivered over a link.
+func (n *Network) CarriedBits(l *topo.Link) float64 {
+	n.settle()
+	return n.carriedBits[l.ID]
+}
+
+// CNPCount reports cumulative congestion notifications received by the
+// sender behind the given physical port.
+func (n *Network) CNPCount(p *topo.Port) float64 {
+	n.settle()
+	return n.cnpCount[p]
+}
+
+// FlowsOn reports how many active flows traverse the link.
+func (n *Network) FlowsOn(l *topo.Link) int {
+	c := 0
+	for _, f := range n.flows {
+		for _, pl := range f.Path.Links {
+			if pl == l {
+				c++
+				break
+			}
+		}
+	}
+	return c
+}
+
+// Utilization reports the current aggregate rate on a link in bits/second.
+func (n *Network) Utilization(l *topo.Link) float64 {
+	n.settle() // keep carried-bit counters consistent with the rates
+	var u float64
+	for _, f := range n.flows {
+		for _, pl := range f.Path.Links {
+			if pl == l {
+				u += f.rate
+				break
+			}
+		}
+	}
+	return u
+}
+
+func (n *Network) remove(f *Flow) {
+	for i, g := range n.flows {
+		if g == f {
+			n.flows = append(n.flows[:i], n.flows[i+1:]...)
+			return
+		}
+	}
+}
+
+// invalidate schedules a single rate recomputation at the current instant.
+func (n *Network) invalidate() {
+	if n.pending != nil && !n.pending.Cancelled() && n.pending.At() == n.Engine.Now() {
+		return
+	}
+	n.pending = n.Engine.After(0, n.recompute)
+}
+
+// settle advances all flows to the current instant at their current rates,
+// updating remaining bits, per-link carried-bit counters, and CNP counters.
+func (n *Network) settle() {
+	now := n.Engine.Now()
+	dt := (now - n.lastSettle).Seconds()
+	n.lastSettle = now
+	if dt <= 0 {
+		return
+	}
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		delta := f.rate * dt
+		if delta > f.remaining {
+			delta = f.remaining
+		}
+		f.remaining -= delta
+		for _, l := range f.Path.Links {
+			n.carriedBits[l.ID] += delta
+		}
+		if f.cnpRate > 0 && f.Path.SrcPort != nil {
+			n.cnpCount[f.Path.SrcPort] += f.cnpRate * dt
+		}
+	}
+}
+
+// recompute performs max-min fair allocation (progressive filling) across
+// all admitted flows and reschedules completion events.
+func (n *Network) recompute() {
+	n.settle()
+	n.pending = nil
+
+	type linkState struct {
+		cap   float64
+		count int
+		flows []*Flow
+	}
+	links := make(map[int]*linkState)
+	frozen := make(map[*Flow]bool, len(n.flows))
+
+	for _, f := range n.flows {
+		f.rate = 0
+		alive := true
+		for _, l := range f.Path.Links {
+			if !l.Up() {
+				alive = false
+				break
+			}
+		}
+		if !alive {
+			frozen[f] = true // stalled at rate 0
+			continue
+		}
+		for _, l := range f.Path.Links {
+			ls := links[l.ID]
+			if ls == nil {
+				ls = &linkState{cap: l.Gbps * Gbps}
+				links[l.ID] = ls
+			}
+			ls.count++
+			ls.flows = append(ls.flows, f)
+		}
+	}
+
+	// Deterministic order over links for bottleneck scanning.
+	linkIDs := make([]int, 0, len(links))
+	for id := range links {
+		linkIDs = append(linkIDs, id)
+	}
+	sort.Ints(linkIDs)
+
+	unfrozen := 0
+	for _, f := range n.flows {
+		if !frozen[f] {
+			unfrozen++
+		}
+	}
+	for unfrozen > 0 {
+		// Find the tightest link.
+		best := math.Inf(1)
+		for _, id := range linkIDs {
+			ls := links[id]
+			if ls.count <= 0 {
+				continue
+			}
+			share := ls.cap / float64(ls.count)
+			if share < best {
+				best = share
+			}
+		}
+		if math.IsInf(best, 1) {
+			break // remaining flows cross no capacity-bearing links
+		}
+		// Freeze every unfrozen flow on links at the bottleneck share.
+		progressed := false
+		for _, id := range linkIDs {
+			ls := links[id]
+			if ls.count <= 0 {
+				continue
+			}
+			share := ls.cap / float64(ls.count)
+			if share > best*(1+rateEpsilon) {
+				continue
+			}
+			for _, f := range ls.flows {
+				if frozen[f] {
+					continue
+				}
+				f.rate = best
+				frozen[f] = true
+				unfrozen--
+				progressed = true
+				for _, l := range f.Path.Links {
+					fls := links[l.ID]
+					fls.cap -= best
+					if fls.cap < 0 {
+						fls.cap = 0
+					}
+					fls.count--
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+
+	// CNP rates: saturated links with contention emit notifications toward
+	// every sender crossing them. A single flow at line rate builds no
+	// queue in the fluid model, so saturation requires ≥2 competing flows.
+	type load struct {
+		total float64
+		count int
+	}
+	loads := make(map[int]*load)
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		for _, l := range f.Path.Links {
+			ld := loads[l.ID]
+			if ld == nil {
+				ld = &load{}
+				loads[l.ID] = ld
+			}
+			ld.total += f.rate
+			ld.count++
+		}
+	}
+	saturated := make(map[int]float64) // linkID -> contention factor
+	for id, ld := range loads {
+		capBits := n.linkCap(id)
+		if ld.count >= 2 && capBits > 0 && ld.total >= capBits*(1-1e-6) {
+			saturated[id] = float64(ld.count-1) / float64(ld.count)
+		}
+	}
+	for _, f := range n.flows {
+		f.cnpRate = 0
+		for _, l := range f.Path.Links {
+			if factor, ok := saturated[l.ID]; ok {
+				f.cnpRate += n.Cfg.CNPPerSecond * factor
+			}
+		}
+	}
+
+	// Reschedule completions.
+	for _, f := range n.flows {
+		if f.completeEv != nil {
+			f.completeEv.Cancel()
+			f.completeEv = nil
+		}
+		if f.rate <= 0 {
+			continue
+		}
+		// Round up by 1 ns: FromSeconds truncates, and an ETA that lands
+		// a sub-nanosecond early would re-fire at the same instant with
+		// zero progress. Overshoot is harmless — settle clamps delivery
+		// to the remaining bits.
+		eta := sim.FromSeconds(f.remaining/f.rate) + 1
+		if eta < 1 {
+			eta = 1
+		}
+		ff := f
+		f.completeEv = n.Engine.After(eta, func() { n.complete(ff) })
+	}
+}
+
+func (n *Network) linkCap(id int) float64 {
+	return n.Topo.Links[id].Gbps * Gbps
+}
+
+func (n *Network) complete(f *Flow) {
+	if f.done {
+		return
+	}
+	n.settle()
+	if f.remaining > f.sizeBits*1e-9+1 {
+		// Rate changed since scheduling; recompute will reschedule.
+		n.invalidate()
+		return
+	}
+	f.remaining = 0
+	f.done = true
+	n.remove(f)
+	n.invalidate()
+	if f.OnComplete != nil {
+		f.OnComplete(f)
+	}
+}
+
+// String summarizes the simulator state; useful in debugging sessions.
+func (n *Network) String() string {
+	return fmt.Sprintf("netsim{t=%v flows=%d}", n.Engine.Now(), len(n.flows))
+}

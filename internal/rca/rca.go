@@ -1,0 +1,234 @@
+// Package rca implements the background root-cause analysis service of
+// the paper's Fig 4: while the steering service isolates and restarts
+// immediately ("deferring in-depth root cause analysis to offline
+// processing", §II-C), this service correlates the C4D finding with
+// server-monitor and network-monitor telemetry and produces a ranked
+// root-cause report for the repair queue.
+//
+// The classifier is Bayesian at heart: Table I's measured cause mix gives
+// the prior; the syndrome reshapes it (a non-communication hang cannot be
+// a switch failure); and hardware telemetry observed on the blamed
+// component within the correlation window multiplies in strong evidence
+// (an ECC counter spike all but confirms an ECC/NVLink root cause).
+package rca
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"c4/internal/c4d"
+	"c4/internal/cluster"
+	"c4/internal/sim"
+)
+
+// TelemetryKind is one class of hardware-monitor signal (Fig 4's "Server
+// Monitor" and "Network Monitor" feeds).
+type TelemetryKind int
+
+// Telemetry signals.
+const (
+	// TelemetryXidError is a GPU driver Xid event (CUDA-level fault).
+	TelemetryXidError TelemetryKind = iota
+	// TelemetryECCCount is a GPU memory ECC counter increase.
+	TelemetryECCCount
+	// TelemetryNVLinkReplay is an NVLink CRC/replay counter increase.
+	TelemetryNVLinkReplay
+	// TelemetryNICDown reports a NIC port losing carrier.
+	TelemetryNICDown
+	// TelemetryLinkFlap reports a fabric link flapping.
+	TelemetryLinkFlap
+	// TelemetryPCIeDowngrade reports a PCIe width/speed downgrade.
+	TelemetryPCIeDowngrade
+	// TelemetryThermal reports GPU thermal throttling (DVFS).
+	TelemetryThermal
+)
+
+func (k TelemetryKind) String() string {
+	switch k {
+	case TelemetryXidError:
+		return "xid-error"
+	case TelemetryECCCount:
+		return "ecc-count"
+	case TelemetryNVLinkReplay:
+		return "nvlink-replay"
+	case TelemetryNICDown:
+		return "nic-down"
+	case TelemetryLinkFlap:
+		return "link-flap"
+	case TelemetryPCIeDowngrade:
+		return "pcie-downgrade"
+	case TelemetryThermal:
+		return "thermal-throttle"
+	}
+	return "unknown"
+}
+
+// Telemetry is one monitor observation.
+type Telemetry struct {
+	Time sim.Time
+	Kind TelemetryKind
+	Node int // -1 for fabric-side signals
+}
+
+// Cause is one ranked hypothesis.
+type Cause struct {
+	Kind       cluster.FaultKind
+	Confidence float64 // normalized to sum 1 across the report
+	Evidence   []string
+}
+
+// Report is the analyzer's output for one C4D finding.
+type Report struct {
+	Event  c4d.Event
+	Causes []Cause
+}
+
+// Top returns the most likely cause.
+func (r Report) Top() Cause {
+	if len(r.Causes) == 0 {
+		return Cause{Kind: cluster.FaultNetworkOther}
+	}
+	return r.Causes[0]
+}
+
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "RCA for %v:\n", r.Event)
+	for _, c := range r.Causes {
+		fmt.Fprintf(&sb, "  %5.1f%%  %v", c.Confidence*100, c.Kind)
+		if len(c.Evidence) > 0 {
+			fmt.Fprintf(&sb, "  [%s]", strings.Join(c.Evidence, "; "))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Analyzer accumulates telemetry and classifies C4D findings.
+type Analyzer struct {
+	// Window is how far back telemetry correlates with a finding.
+	Window sim.Time
+
+	telemetry []Telemetry
+}
+
+// NewAnalyzer creates an analyzer with the given correlation window
+// (default 5 minutes).
+func NewAnalyzer(window sim.Time) *Analyzer {
+	if window <= 0 {
+		window = 5 * sim.Minute
+	}
+	return &Analyzer{Window: window}
+}
+
+// Observe records one telemetry event.
+func (a *Analyzer) Observe(t Telemetry) {
+	a.telemetry = append(a.telemetry, t)
+}
+
+// syndromePrior reshapes Table I's cause mix by what the syndrome can
+// physically be.
+func syndromePrior(s c4d.Syndrome) map[cluster.FaultKind]float64 {
+	base := map[cluster.FaultKind]float64{}
+	for _, row := range cluster.TableIMix() {
+		base[row.Kind] = row.Weight
+	}
+	switch s {
+	case c4d.NonCommHang:
+		// The worker never launched its kernel: a compute-side problem.
+		base[cluster.FaultACKTimeout] *= 0.1
+		base[cluster.FaultNetworkOther] *= 0.1
+	case c4d.CommHang:
+		// Transport stopped: network-side or a dying GPU mid-transfer.
+		base[cluster.FaultCUDAError] *= 0.3
+	case c4d.CommSlow:
+		// Degradation, not death: NIC/link quality problems dominate.
+		base[cluster.FaultCUDAError] *= 0.05
+		base[cluster.FaultECCNVLink] *= 0.3
+	case c4d.NonCommSlow:
+		// Straggling compute: GPU-side.
+		base[cluster.FaultACKTimeout] *= 0.05
+		base[cluster.FaultNetworkOther] *= 0.05
+		base[cluster.FaultNCCLTimeout] *= 0.2
+	}
+	return base
+}
+
+// likelihood multiplies in hardware evidence observed on the blamed
+// component inside the window.
+func likelihood(kind cluster.FaultKind, hits map[TelemetryKind]int) (float64, []string) {
+	mult := 1.0
+	var ev []string
+	boost := func(tk TelemetryKind, factor float64) {
+		if n := hits[tk]; n > 0 {
+			mult *= factor * float64(n)
+			ev = append(ev, fmt.Sprintf("%v x%d", tk, n))
+		}
+	}
+	switch kind {
+	case cluster.FaultCUDAError:
+		boost(TelemetryXidError, 8)
+		boost(TelemetryThermal, 2)
+	case cluster.FaultECCNVLink:
+		boost(TelemetryECCCount, 8)
+		boost(TelemetryNVLinkReplay, 8)
+	case cluster.FaultNCCLTimeout:
+		boost(TelemetryThermal, 2)
+		boost(TelemetryPCIeDowngrade, 3)
+	case cluster.FaultACKTimeout:
+		boost(TelemetryNICDown, 8)
+		boost(TelemetryLinkFlap, 4)
+	case cluster.FaultNetworkOther:
+		boost(TelemetryLinkFlap, 6)
+		boost(TelemetryNICDown, 3)
+	}
+	return mult, ev
+}
+
+// Classify produces the ranked report for one finding.
+func (a *Analyzer) Classify(ev c4d.Event) Report {
+	hits := map[TelemetryKind]int{}
+	for _, t := range a.telemetry {
+		if t.Time > ev.Time || ev.Time-t.Time > a.Window {
+			continue
+		}
+		if t.Node >= 0 && t.Node != ev.Node && t.Node != ev.Peer {
+			continue
+		}
+		hits[t.Kind]++
+	}
+	prior := syndromePrior(ev.Syndrome)
+	var causes []Cause
+	var total float64
+	for kind, p := range prior {
+		mult, evidence := likelihood(kind, hits)
+		score := p * mult
+		causes = append(causes, Cause{Kind: kind, Confidence: score, Evidence: evidence})
+		total += score
+	}
+	for i := range causes {
+		if total > 0 {
+			causes[i].Confidence /= total
+		}
+	}
+	sort.Slice(causes, func(i, j int) bool {
+		if causes[i].Confidence != causes[j].Confidence {
+			return causes[i].Confidence > causes[j].Confidence
+		}
+		return causes[i].Kind < causes[j].Kind
+	})
+	return Report{Event: ev, Causes: causes}
+}
+
+// Prune drops telemetry older than the window before `now`, bounding
+// memory for long-running services.
+func (a *Analyzer) Prune(now sim.Time) {
+	kept := a.telemetry[:0]
+	for _, t := range a.telemetry {
+		if now-t.Time <= a.Window {
+			kept = append(kept, t)
+		}
+	}
+	a.telemetry = kept
+}

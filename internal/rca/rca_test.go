@@ -1,0 +1,151 @@
+package rca
+
+import (
+	"strings"
+	"testing"
+
+	"c4/internal/c4d"
+	"c4/internal/cluster"
+	"c4/internal/sim"
+)
+
+func hangEvent(node int) c4d.Event {
+	return c4d.Event{
+		Time: 10 * sim.Minute, Syndrome: c4d.NonCommHang,
+		Scope: c4d.ScopeNode, Node: node, Peer: -1,
+	}
+}
+
+func TestECCTelemetryDominates(t *testing.T) {
+	a := NewAnalyzer(0)
+	a.Observe(Telemetry{Time: 9 * sim.Minute, Kind: TelemetryECCCount, Node: 4})
+	rep := a.Classify(hangEvent(4))
+	if rep.Top().Kind != cluster.FaultECCNVLink {
+		t.Fatalf("top cause = %v, want ECC/NVLink\n%s", rep.Top().Kind, rep)
+	}
+	if rep.Top().Confidence < 0.5 {
+		t.Fatalf("confidence = %.2f, want strong", rep.Top().Confidence)
+	}
+	if len(rep.Top().Evidence) == 0 {
+		t.Fatal("missing evidence trail")
+	}
+}
+
+func TestXidTelemetryImpliesCUDA(t *testing.T) {
+	a := NewAnalyzer(0)
+	a.Observe(Telemetry{Time: 9 * sim.Minute, Kind: TelemetryXidError, Node: 2})
+	rep := a.Classify(hangEvent(2))
+	if rep.Top().Kind != cluster.FaultCUDAError {
+		t.Fatalf("top cause = %v, want CUDA\n%s", rep.Top().Kind, rep)
+	}
+}
+
+func TestTelemetryOnOtherNodeIgnored(t *testing.T) {
+	a := NewAnalyzer(0)
+	a.Observe(Telemetry{Time: 9 * sim.Minute, Kind: TelemetryECCCount, Node: 7})
+	rep := a.Classify(hangEvent(4))
+	// Without correlated evidence, the prior rules: for a non-comm hang
+	// that is ECC/NVLink (largest weight among compute-side causes).
+	for _, c := range rep.Causes {
+		if len(c.Evidence) != 0 {
+			t.Fatalf("evidence leaked from unrelated node: %v", c)
+		}
+	}
+}
+
+func TestStaleTelemetryIgnored(t *testing.T) {
+	a := NewAnalyzer(2 * sim.Minute)
+	a.Observe(Telemetry{Time: 1 * sim.Minute, Kind: TelemetryECCCount, Node: 4})
+	rep := a.Classify(hangEvent(4)) // event at 10 min, window 2 min
+	for _, c := range rep.Causes {
+		if len(c.Evidence) != 0 {
+			t.Fatalf("stale telemetry correlated: %v", c)
+		}
+	}
+	// Future telemetry must not correlate either.
+	a.Observe(Telemetry{Time: 11 * sim.Minute, Kind: TelemetryXidError, Node: 4})
+	rep = a.Classify(hangEvent(4))
+	for _, c := range rep.Causes {
+		if len(c.Evidence) != 0 {
+			t.Fatalf("future telemetry correlated: %v", c)
+		}
+	}
+}
+
+func TestSyndromeShapesPrior(t *testing.T) {
+	a := NewAnalyzer(0)
+	slow := a.Classify(c4d.Event{
+		Time: sim.Minute, Syndrome: c4d.CommSlow,
+		Scope: c4d.ScopeConnection, Node: 1, Peer: 2,
+	})
+	// A comm-slow with no telemetry should not blame CUDA.
+	if slow.Top().Kind == cluster.FaultCUDAError {
+		t.Fatalf("comm-slow blamed CUDA:\n%s", slow)
+	}
+	straggler := a.Classify(c4d.Event{
+		Time: sim.Minute, Syndrome: c4d.NonCommSlow,
+		Scope: c4d.ScopeNode, Node: 1, Peer: -1,
+	})
+	if k := straggler.Top().Kind; k == cluster.FaultACKTimeout || k == cluster.FaultNetworkOther {
+		t.Fatalf("straggler blamed the network:\n%s", straggler)
+	}
+}
+
+func TestConfidencesNormalized(t *testing.T) {
+	a := NewAnalyzer(0)
+	a.Observe(Telemetry{Time: 9 * sim.Minute, Kind: TelemetryLinkFlap, Node: -1})
+	rep := a.Classify(c4d.Event{
+		Time: 10 * sim.Minute, Syndrome: c4d.CommHang,
+		Scope: c4d.ScopeNode, Node: 3, Peer: -1,
+	})
+	var sum float64
+	for _, c := range rep.Causes {
+		if c.Confidence < 0 {
+			t.Fatalf("negative confidence: %v", c)
+		}
+		sum += c.Confidence
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("confidences sum to %v", sum)
+	}
+	// Fabric-side telemetry (Node -1)... is keyed to no node, so it must
+	// correlate with any finding.
+	found := false
+	for _, c := range rep.Causes {
+		if len(c.Evidence) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fabric telemetry did not correlate")
+	}
+}
+
+func TestPrune(t *testing.T) {
+	a := NewAnalyzer(sim.Minute)
+	for i := 0; i < 10; i++ {
+		a.Observe(Telemetry{Time: sim.Time(i) * sim.Minute, Kind: TelemetryThermal, Node: 0})
+	}
+	a.Prune(10 * sim.Minute)
+	if got := len(a.telemetry); got != 1 {
+		t.Fatalf("kept %d telemetry records, want 1 (the 9m one)", got)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	a := NewAnalyzer(0)
+	rep := a.Classify(hangEvent(1))
+	out := rep.String()
+	if !strings.Contains(out, "%") || !strings.Contains(out, "RCA") {
+		t.Fatalf("rendering: %q", out)
+	}
+	empty := Report{}
+	if empty.Top().Kind != cluster.FaultNetworkOther {
+		t.Fatal("empty report should default to network-other")
+	}
+	for k := TelemetryKind(0); k <= TelemetryThermal; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("telemetry kind %d unlabeled", k)
+		}
+	}
+}

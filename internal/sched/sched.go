@@ -1,0 +1,121 @@
+// Package sched implements the topology-aware scheduling the paper uses
+// before traffic engineering even starts (§III-B): "we utilize
+// topology-aware scheduling techniques to ensure that the two ranks
+// needing to communicate are as close as possible within the network."
+// Placing a job inside one leaf group makes its ring traffic stay under
+// the leaves (zero spine hops); when a job must span groups, packing
+// whole groups minimizes the number of ring edges that cross the spine
+// layer — each crossing is an opportunity for collision.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"c4/internal/topo"
+)
+
+// Scheduler hands out nodes with leaf-group affinity.
+type Scheduler struct {
+	topo *topo.Topology
+	used map[int]bool
+}
+
+// New creates a scheduler over the fabric's nodes.
+func New(t *topo.Topology) *Scheduler {
+	return &Scheduler{topo: t, used: make(map[int]bool)}
+}
+
+// Free reports the number of unallocated nodes.
+func (s *Scheduler) Free() int {
+	return s.topo.Spec.Nodes - len(s.used)
+}
+
+// groupsByFreeCapacity lists group indices ordered by free nodes
+// descending (ties by index for determinism).
+func (s *Scheduler) groupsByFreeCapacity() []int {
+	spec := s.topo.Spec
+	free := make([]int, spec.Groups())
+	for n := 0; n < spec.Nodes; n++ {
+		if !s.used[n] {
+			free[s.topo.Group(n)]++
+		}
+	}
+	idx := make([]int, len(free))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if free[idx[a]] != free[idx[b]] {
+			return free[idx[a]] > free[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// Allocate picks m nodes packing as few leaf groups as possible, fullest
+// groups first. The returned slice is in group-major order, which is also
+// the ring order that minimizes spine crossings.
+func (s *Scheduler) Allocate(m int) ([]int, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("sched: allocate %d nodes", m)
+	}
+	if m > s.Free() {
+		return nil, fmt.Errorf("sched: %d nodes requested, %d free", m, s.Free())
+	}
+	var out []int
+	for _, g := range s.groupsByFreeCapacity() {
+		for n := g * s.topo.Spec.NodesPerGroup; n < (g+1)*s.topo.Spec.NodesPerGroup && n < s.topo.Spec.Nodes; n++ {
+			if s.used[n] {
+				continue
+			}
+			out = append(out, n)
+			if len(out) == m {
+				for _, picked := range out {
+					s.used[picked] = true
+				}
+				return out, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("sched: internal accounting error") // unreachable
+}
+
+// Release returns nodes to the pool.
+func (s *Scheduler) Release(nodes []int) {
+	for _, n := range nodes {
+		delete(s.used, n)
+	}
+}
+
+// RingOrder reorders nodes group-major so that ring edges cross the spine
+// layer the minimum number of times (once per adjacent group pair, plus
+// the wrap-around).
+func RingOrder(t *topo.Topology, nodes []int) []int {
+	out := append([]int(nil), nodes...)
+	sort.Slice(out, func(i, j int) bool {
+		gi, gj := t.Group(out[i]), t.Group(out[j])
+		if gi != gj {
+			return gi < gj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// CrossGroupEdges counts ring edges that leave a leaf group — the edges
+// that traverse spines and can collide.
+func CrossGroupEdges(t *topo.Topology, ring []int) int {
+	if len(ring) < 2 {
+		return 0
+	}
+	count := 0
+	for i := range ring {
+		a, b := ring[i], ring[(i+1)%len(ring)]
+		if t.Group(a) != t.Group(b) {
+			count++
+		}
+	}
+	return count
+}

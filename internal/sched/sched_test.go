@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"c4/internal/sim"
+	"c4/internal/topo"
+)
+
+func testTopo() *topo.Topology {
+	return topo.MustNew(topo.MultiJobTestbed(8)) // 16 nodes, 2 groups of 8
+}
+
+func TestAllocatePacksOneGroup(t *testing.T) {
+	s := New(testTopo())
+	nodes, err := s.Allocate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := s.topo.Group(nodes[0])
+	for _, n := range nodes {
+		if s.topo.Group(n) != g {
+			t.Fatalf("allocation spans groups: %v", nodes)
+		}
+	}
+	if CrossGroupEdges(s.topo, nodes) != 0 {
+		t.Fatal("packed allocation should have zero spine-crossing ring edges")
+	}
+}
+
+func TestAllocateSpanningMinimizesCrossings(t *testing.T) {
+	s := New(testTopo())
+	nodes, err := s.Allocate(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := RingOrder(s.topo, nodes)
+	// Two groups touched: exactly 2 crossing edges (boundary + wrap).
+	if got := CrossGroupEdges(s.topo, ring); got != 2 {
+		t.Fatalf("crossings = %d, want 2; ring %v", got, ring)
+	}
+	// Versus the naive interleaved order, which crosses on every edge.
+	interleaved := []int{0, 8, 1, 9, 2, 10, 3, 11, 4, 12, 5, 13}
+	if got := CrossGroupEdges(s.topo, interleaved); got != 12 {
+		t.Fatalf("interleaved crossings = %d, want 12", got)
+	}
+}
+
+func TestAllocateTracksUsage(t *testing.T) {
+	s := New(testTopo())
+	a, err := s.Allocate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Allocate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, n := range append(a, b...) {
+		if seen[n] {
+			t.Fatalf("node %d allocated twice", n)
+		}
+		seen[n] = true
+	}
+	if s.Free() != 0 {
+		t.Fatalf("free = %d, want 0", s.Free())
+	}
+	if _, err := s.Allocate(1); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	s.Release(a)
+	if s.Free() != 8 {
+		t.Fatalf("free after release = %d", s.Free())
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	s := New(testTopo())
+	if _, err := s.Allocate(0); err == nil {
+		t.Fatal("zero allocation accepted")
+	}
+	if _, err := s.Allocate(17); err == nil {
+		t.Fatal("oversized allocation accepted")
+	}
+}
+
+func TestAllocatePrefersFullestGroups(t *testing.T) {
+	s := New(testTopo())
+	// Fragment group 0: take 5 nodes, leaving 3 free there and 8 in g1.
+	frag, err := s.Allocate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = frag
+	// An 8-node job must go entirely to group 1.
+	nodes, err := s.Allocate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if s.topo.Group(n) != 1 {
+			t.Fatalf("job not packed into the fullest group: %v", nodes)
+		}
+	}
+}
+
+// Property: RingOrder never increases (and packed orders minimize)
+// cross-group edges relative to a random order of the same nodes.
+func TestRingOrderMinimizesCrossingsProperty(t *testing.T) {
+	tp := testTopo()
+	f := func(seed int64, count uint8) bool {
+		r := sim.NewRand(seed)
+		m := int(count)%14 + 2
+		perm := r.Perm(tp.Spec.Nodes)[:m]
+		ordered := RingOrder(tp, perm)
+		if CrossGroupEdges(tp, ordered) > CrossGroupEdges(tp, perm) {
+			return false
+		}
+		// Group-major order crosses at most once per group touched (plus
+		// wrap), i.e. ≤ number of distinct groups.
+		groups := map[int]bool{}
+		for _, n := range perm {
+			groups[tp.Group(n)] = true
+		}
+		return CrossGroupEdges(tp, ordered) <= len(groups)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

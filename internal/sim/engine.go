@@ -1,0 +1,210 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in the order they were
+// scheduled, which — together with the seeded random source in rand.go —
+// makes every simulation in this repository reproducible bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start
+// of the simulation. It intentionally mirrors time.Duration semantics so
+// durations and instants compose naturally.
+type Time int64
+
+// Common time constants, re-exported so callers do not need to juggle
+// conversions between time.Duration and sim.Time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+	Day              = 24 * Hour
+
+	// MaxTime is the largest representable instant; used as "never".
+	MaxTime Time = math.MaxInt64
+)
+
+// Seconds reports the instant as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Duration converts the virtual instant to a time.Duration offset.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromSeconds converts floating-point seconds to a virtual time offset.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromDuration converts a time.Duration to a virtual time offset.
+func FromDuration(d time.Duration) Time { return Time(d) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. It is returned by the Schedule methods so
+// callers can cancel pending events.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 when not queued
+	cancel bool
+}
+
+// At reports the instant the event is (or was) scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; all model code runs inside event callbacks on the caller's
+// goroutine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far. Useful for tests and
+// for detecting runaway simulations.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events currently queued (including events
+// that were cancelled but not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at the absolute instant at. Scheduling in the
+// past panics: it always indicates a model bug, and silently reordering
+// time would corrupt every downstream measurement.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run delay after the current instant.
+func (e *Engine) After(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step executes the next event. It reports false when the queue is empty.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ deadline, then advances the
+// clock to exactly deadline (if it is in the future).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 {
+			break
+		}
+		next := e.peek()
+		if next.at > deadline {
+			break
+		}
+		e.step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for the given span of virtual time from now.
+func (e *Engine) RunFor(span Time) { e.RunUntil(e.now + span) }
+
+func (e *Engine) peek() *Event {
+	// Cancelled events may sit at the head; skip them without firing.
+	for len(e.queue) > 0 && e.queue[0].cancel {
+		heap.Pop(&e.queue)
+	}
+	if len(e.queue) == 0 {
+		return &Event{at: MaxTime}
+	}
+	return e.queue[0]
+}
+
+// NextEventAt reports the instant of the next pending event, or MaxTime if
+// the queue is empty.
+func (e *Engine) NextEventAt() Time { return e.peek().at }

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false")
+	}
+}
+
+func TestEngineAfterAndNesting(t *testing.T) {
+	e := NewEngine()
+	var at []Time
+	e.After(10, func() {
+		at = append(at, e.Now())
+		e.After(5, func() { at = append(at, e.Now()) })
+	})
+	e.Run()
+	if len(at) != 2 || at[0] != 10 || at[1] != 15 {
+		t.Fatalf("times = %v", at)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.Schedule(i*Second, func() { count++ })
+	}
+	e.RunUntil(5 * Second)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 5*Second {
+		t.Fatalf("now = %v", e.Now())
+	}
+	e.RunUntil(20 * Second)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+	if e.Now() != 20*Second {
+		t.Fatalf("now = %v", e.Now())
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.Schedule(i, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.Schedule(5, func() {})
+	})
+	e.Run()
+}
+
+func TestNextEventAt(t *testing.T) {
+	e := NewEngine()
+	if e.NextEventAt() != MaxTime {
+		t.Fatal("empty queue should report MaxTime")
+	}
+	ev := e.Schedule(42, func() {})
+	if e.NextEventAt() != 42 {
+		t.Fatalf("next = %v", e.NextEventAt())
+	}
+	ev.Cancel()
+	if e.NextEventAt() != MaxTime {
+		t.Fatal("cancelled head should be skipped")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if (3 * Second).String() != "3s" {
+		t.Fatalf("String = %q", (3 * Second).String())
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// the scheduling order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []Time
+		for _, o := range offsets {
+			at := Time(o)
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestRandPick(t *testing.T) {
+	r := NewRand(1)
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		counts[r.Pick([]float64{1, 0, 3})]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight bucket picked %d times", counts[1])
+	}
+	if counts[2] < counts[0] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+	// All-zero weights fall back to uniform without panicking.
+	_ = r.Pick([]float64{0, 0})
+}
+
+func TestRandClamps(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if r.Normal(0.001, 10) < 0 {
+			t.Fatal("Normal returned negative")
+		}
+	}
+	if r.Exp(-1) != 0 {
+		t.Fatal("Exp with non-positive mean should be 0")
+	}
+}
+
+func TestRandJitter(t *testing.T) {
+	r := NewRand(4)
+	for i := 0; i < 1000; i++ {
+		d := r.Jitter(1000, 0.1)
+		if d < 900 || d > 1100 {
+			t.Fatalf("jitter out of range: %v", d)
+		}
+	}
+	if r.Jitter(123, 0) != 123 {
+		t.Fatal("zero jitter should be identity")
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import "math/rand"
+
+// Rand is a seeded random source used by all stochastic model components.
+// It wraps math/rand.Rand with the handful of distributions the simulator
+// needs, so models never reach for the global source (which would break
+// determinism).
+type Rand struct {
+	r *rand.Rand
+}
+
+// NewRand returns a deterministic source for the given seed.
+func NewRand(seed int64) *Rand {
+	return &Rand{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *Rand) Float64() float64 { return r.r.Float64() }
+
+// Intn returns a uniform int in [0,n).
+func (r *Rand) Intn(n int) int { return r.r.Intn(n) }
+
+// Int63 returns a non-negative uniform int64.
+func (r *Rand) Int63() int64 { return r.r.Int63() }
+
+// Perm returns a random permutation of [0,n).
+func (r *Rand) Perm(n int) []int { return r.r.Perm(n) }
+
+// NormFloat64 returns a standard normal sample.
+func (r *Rand) NormFloat64() float64 { return r.r.NormFloat64() }
+
+// Exp returns an exponential sample with the given mean. A non-positive
+// mean yields zero, which models a deterministic "immediately" arrival.
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return r.r.ExpFloat64() * mean
+}
+
+// ExpTime returns an exponentially distributed virtual-time span with the
+// given mean span.
+func (r *Rand) ExpTime(mean Time) Time {
+	return Time(r.Exp(float64(mean)))
+}
+
+// Normal returns a normal sample with the given mean and stddev, clamped
+// to be non-negative (durations and sizes cannot go below zero).
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	v := mean + stddev*r.r.NormFloat64()
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// NormalTime returns a clamped normal virtual-time span.
+func (r *Rand) NormalTime(mean, stddev Time) Time {
+	return Time(r.Normal(float64(mean), float64(stddev)))
+}
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac].
+func (r *Rand) Jitter(d Time, frac float64) Time {
+	if frac <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*r.r.Float64()-1)
+	return Time(float64(d) * f)
+}
+
+// Pick returns a uniformly chosen index weighted by the given
+// non-negative weights. If all weights are zero it falls back to uniform.
+func (r *Rand) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return r.Intn(len(weights))
+	}
+	x := r.r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return len(weights) - 1
+}
+
+// Fork derives an independent deterministic sub-source, so components can
+// consume randomness without perturbing each other's streams.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.r.Int63())
+}

@@ -1,0 +1,96 @@
+// Package steering implements the job steering service of the paper's
+// Fig 4: it receives C4D findings, isolates the blamed node (drawing a
+// replacement from the backup pool the paper provisions at 64 spare GPUs
+// per 1024), and restarts the job from the last checkpoint. It also
+// contains the month-scale availability model that reproduces Table I and
+// Table III.
+package steering
+
+import (
+	"fmt"
+
+	"c4/internal/c4d"
+	"c4/internal/cluster"
+	"c4/internal/sim"
+)
+
+// Action is one recovery performed by the service.
+type Action struct {
+	Time        sim.Time
+	Event       c4d.Event
+	Node        int
+	Replacement int
+	RestartAt   sim.Time
+}
+
+// Config tunes the live steering pipeline.
+type Config struct {
+	Engine  *sim.Engine
+	Cluster *cluster.Cluster
+	// IsolationDelay is the time to drain and fence the node.
+	IsolationDelay sim.Time
+	// RestartDelay is scheduler + process re-launch + re-init time.
+	RestartDelay sim.Time
+	// Isolate is invoked when the service fences a node (the job should
+	// stop). Restart is invoked when the job may resume with the
+	// replacement node (or the same node if no spare was available).
+	Isolate func(node int)
+	Restart func(node, replacement int)
+}
+
+// Service is the live recovery pipeline driven by C4D events.
+type Service struct {
+	cfg     Config
+	actions []Action
+	busy    bool
+}
+
+// NewService creates the pipeline; subscribe its Handle method to a C4D
+// master.
+func NewService(cfg Config) *Service {
+	if cfg.IsolationDelay <= 0 {
+		cfg.IsolationDelay = 30 * sim.Second
+	}
+	if cfg.RestartDelay <= 0 {
+		cfg.RestartDelay = 3 * sim.Minute
+	}
+	return &Service{cfg: cfg}
+}
+
+// Actions returns the recovery log.
+func (s *Service) Actions() []Action { return append([]Action(nil), s.actions...) }
+
+// Handle processes one C4D finding: isolate, replace, restart. Findings
+// arriving while a recovery is in flight are coalesced (the restart already
+// fixes the job).
+func (s *Service) Handle(ev c4d.Event) {
+	if s.busy {
+		return
+	}
+	s.busy = true
+	now := s.cfg.Engine.Now()
+	if s.cfg.Isolate != nil {
+		s.cfg.Isolate(ev.Node)
+	}
+	act := Action{Time: now, Event: ev, Node: ev.Node}
+	s.cfg.Engine.After(s.cfg.IsolationDelay, func() {
+		repl := s.cfg.Cluster.Isolate(ev.Node)
+		if repl < 0 {
+			repl = ev.Node // pool empty: restart in place after repair
+		}
+		act.Replacement = repl
+		s.cfg.Engine.After(s.cfg.RestartDelay, func() {
+			act.RestartAt = s.cfg.Engine.Now()
+			s.actions = append(s.actions, act)
+			s.busy = false
+			if s.cfg.Restart != nil {
+				s.cfg.Restart(ev.Node, repl)
+			}
+		})
+	})
+}
+
+func (a Action) String() string {
+	return fmt.Sprintf("isolated n%d -> n%d (%v), restarted at %v",
+		a.Node, a.Replacement, a.Event.Syndrome, a.RestartAt)
+}

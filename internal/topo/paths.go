@@ -1,0 +1,111 @@
+package topo
+
+import "fmt"
+
+// Path is a concrete route from one node's NIC to another node's NIC on a
+// single rail. It fixes the source plane (physical tx port), the spine (nil
+// when both endpoints share a leaf), and the destination plane (physical rx
+// port). The Links slice includes the per-node NVLink injection/delivery
+// resources so that intra-node fabric capacity bounds achievable bandwidth
+// exactly like on the paper's H800 testbed.
+type Path struct {
+	SrcPort *Port
+	DstPort *Port
+	Spine   *Spine  // nil for same-leaf paths
+	Links   []*Link // ordered src->dst, including NVLink endpoints
+}
+
+// SameLeaf reports whether the path stays under one leaf switch.
+func (p *Path) SameLeaf() bool { return p.Spine == nil }
+
+// CrossPlane reports whether the path enters on one plane and exits on the
+// other — the pattern C4P forbids to keep the two bonded ports balanced.
+func (p *Path) CrossPlane() bool { return p.SrcPort.Plane != p.DstPort.Plane }
+
+// Up reports whether every link on the path is currently healthy.
+func (p *Path) Up() bool {
+	for _, l := range p.Links {
+		if !l.Up() {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Path) String() string {
+	if p.Spine == nil {
+		return fmt.Sprintf("%s=>%s (same-leaf)", p.SrcPort.Name(), p.DstPort.Name())
+	}
+	return fmt.Sprintf("%s=>%s via %s", p.SrcPort.Name(), p.DstPort.Name(), p.Spine.Name())
+}
+
+// PathsBetween enumerates every route from srcNode's NIC to dstNode's NIC on
+// the given rail: all (srcPlane, spine, dstPlane) combinations, plus the
+// direct same-leaf route per plane when the nodes share a leaf group.
+// Failed links are not filtered; callers decide how to treat them (the
+// baseline ECMP hasher does not know about failures, C4P's prober does).
+func (t *Topology) PathsBetween(srcNode, dstNode, rail int) []*Path {
+	if srcNode == dstNode {
+		return nil
+	}
+	var paths []*Path
+	sameGroup := t.Group(srcNode) == t.Group(dstNode)
+	for sp := 0; sp < Planes; sp++ {
+		src := t.PortAt(srcNode, rail, sp)
+		if sameGroup {
+			// Same leaf: the only in-plane route is down the shared leaf.
+			dst := t.PortAt(dstNode, rail, sp)
+			paths = append(paths, t.assemble(src, dst, nil))
+		}
+		for dp := 0; dp < Planes; dp++ {
+			dst := t.PortAt(dstNode, rail, dp)
+			for s := 0; s < t.Spec.Spines; s++ {
+				paths = append(paths, t.assemble(src, dst, t.SpineAt(rail, s)))
+			}
+		}
+	}
+	return paths
+}
+
+// assemble materializes the link chain for a route.
+func (t *Topology) assemble(src, dst *Port, spine *Spine) *Path {
+	p := &Path{SrcPort: src, DstPort: dst, Spine: spine}
+	p.Links = append(p.Links, t.NVLinkTx[src.Node], src.Up)
+	if spine == nil {
+		if src.Leaf != dst.Leaf {
+			panic("topo: same-leaf path between different leaves")
+		}
+	} else {
+		p.Links = append(p.Links, src.Leaf.Ups[spine.Index], dst.Leaf.Downs[spine.Index])
+	}
+	p.Links = append(p.Links, dst.Down, t.NVLinkRx[dst.Node])
+	return p
+}
+
+// PathFor returns the specific route for the given plane/spine choice; it is
+// what C4P's allocator uses once it has decided where a QP should go. A
+// negative spine index selects the same-leaf route (valid only when the two
+// nodes share a leaf group and srcPlane == dstPlane).
+func (t *Topology) PathFor(srcNode, dstNode, rail, srcPlane, spine, dstPlane int) (*Path, error) {
+	if srcNode == dstNode {
+		return nil, fmt.Errorf("topo: path from node %d to itself", srcNode)
+	}
+	src := t.PortAt(srcNode, rail, srcPlane)
+	dst := t.PortAt(dstNode, rail, dstPlane)
+	if spine < 0 {
+		if src.Leaf != dst.Leaf {
+			return nil, fmt.Errorf("topo: nodes %d and %d do not share leaf %s",
+				srcNode, dstNode, src.Leaf.Name())
+		}
+		return t.assemble(src, dst, nil), nil
+	}
+	if spine >= t.Spec.Spines {
+		return nil, fmt.Errorf("topo: spine %d out of range [0,%d)", spine, t.Spec.Spines)
+	}
+	return t.assemble(src, dst, t.SpineAt(rail, spine)), nil
+}
+
+// IntraNodePath returns the route between two GPUs on one node: pure NVLink.
+func (t *Topology) IntraNodePath(node int) *Path {
+	return &Path{Links: []*Link{t.NVLinkTx[node], t.NVLinkRx[node]}}
+}

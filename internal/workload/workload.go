@@ -1,0 +1,159 @@
+// Package workload defines the training workloads of the paper's
+// evaluation (Table II): GPT and Llama models at the sizes used in Figs 3,
+// 9, 10, 12 and 14, with the parallelization strategies (TP/PP/DP, ZeRO,
+// gradient accumulation) that determine each job's communication:compute
+// ratio — the knob that decides how much C4P can help (Fig 14's Job3
+// lesson).
+package workload
+
+import (
+	"fmt"
+
+	"c4/internal/sim"
+)
+
+// Model is an LLM training configuration.
+type Model struct {
+	Name   string
+	Params float64 // parameter count
+	// BytesPerGrad is bytes per gradient element (2 for fp16/bf16).
+	BytesPerGrad float64
+}
+
+// Paper models.
+var (
+	// GPT22B is the model behind Fig 3 and Fig 14's Job1.
+	GPT22B = Model{Name: "GPT-22B", Params: 22e9, BytesPerGrad: 2}
+	// GPT175B is the Table III job and Fig 14's Job3.
+	GPT175B = Model{Name: "GPT-175B", Params: 175e9, BytesPerGrad: 2}
+	// Llama7B is Fig 14's Job2.
+	Llama7B = Model{Name: "Llama-7B", Params: 7e9, BytesPerGrad: 2}
+	// Llama13B appears in the C4P benchmark list (Table II).
+	Llama13B = Model{Name: "Llama-13B", Params: 13e9, BytesPerGrad: 2}
+)
+
+// Parallelism is a distributed-training strategy.
+type Parallelism struct {
+	TP   int  // tensor-parallel width (intra-node in all paper jobs)
+	PP   int  // pipeline-parallel depth
+	DP   int  // data-parallel replicas
+	GA   int  // gradient-accumulation steps per optimizer step
+	ZeRO bool // DeepSpeed ZeRO optimizer sharding (Job2)
+}
+
+func (p Parallelism) String() string {
+	p = p.Normalize()
+	z := ""
+	if p.ZeRO {
+		z = "+ZeRO"
+	}
+	return fmt.Sprintf("TP%d/PP%d/DP%d/GA%d%s", p.TP, p.PP, p.DP, p.GA, z)
+}
+
+// Normalize fills zero fields with 1.
+func (p Parallelism) Normalize() Parallelism {
+	if p.TP <= 0 {
+		p.TP = 1
+	}
+	if p.PP <= 0 {
+		p.PP = 1
+	}
+	if p.DP <= 0 {
+		p.DP = 1
+	}
+	if p.GA <= 0 {
+		p.GA = 1
+	}
+	return p
+}
+
+// GradBytesPerRank is the data-parallel synchronization volume per DP rank
+// per optimizer step: the gradient shard held after TP/PP partitioning.
+func (m Model) GradBytesPerRank(p Parallelism) float64 {
+	p = p.Normalize()
+	return m.Params * m.BytesPerGrad / float64(p.TP*p.PP)
+}
+
+// JobSpec is a complete training job for the simulator.
+type JobSpec struct {
+	Name  string
+	Model Model
+	Par   Parallelism
+	// Nodes are the compute nodes assigned, in placement order: PP stages
+	// are contiguous, DP replicas strided (TP stays inside a node, as on
+	// the paper's 8-GPU H800 nodes).
+	Nodes []int
+	// ComputePerMicroBatch is one micro-batch's forward+backward time.
+	ComputePerMicroBatch sim.Time
+	// ComputeJitter is the per-node per-iteration relative noise.
+	ComputeJitter float64
+	// SamplesPerIter is the global batch size, for samples/sec reporting.
+	SamplesPerIter float64
+}
+
+// DPGroups returns the node sets that perform gradient allreduce together:
+// for each pipeline stage, the nodes holding that stage across DP replicas.
+// With the paper's placement (TP intra-node), a job uses PP×DP nodes and
+// stage s of replica d sits on Nodes[d*PP+s].
+func (j JobSpec) DPGroups() ([][]int, error) {
+	p := j.Par.Normalize()
+	want := p.PP * p.DP
+	if len(j.Nodes) != want {
+		return nil, fmt.Errorf("workload: job %q has %d nodes, needs PP*DP = %d",
+			j.Name, len(j.Nodes), want)
+	}
+	groups := make([][]int, p.PP)
+	for s := 0; s < p.PP; s++ {
+		for d := 0; d < p.DP; d++ {
+			groups[s] = append(groups[s], j.Nodes[d*p.PP+s])
+		}
+	}
+	return groups, nil
+}
+
+// IterComputeTime is the compute span of one optimizer step: GA
+// micro-batches plus the pipeline bubble (PP-1 extra micro-batch slots).
+func (j JobSpec) IterComputeTime() sim.Time {
+	p := j.Par.Normalize()
+	return sim.Time(p.GA+p.PP-1) * j.ComputePerMicroBatch
+}
+
+// Fig14Jobs returns the three real-life jobs of Fig 14 on a 16-node
+// testbed. Compute times are calibrated so Job1 and Job2 spend ≳30% of an
+// iteration communicating (the paper's precondition for visible gains)
+// while Job3's GA=16 dilutes communication to a few percent.
+func Fig14Jobs(nodes []int) []JobSpec {
+	n16 := nodes[:16]
+	return []JobSpec{
+		{
+			Name:  "Job1",
+			Model: GPT22B,
+			// Megatron, TP8 (intra-node) × DP16.
+			Par:                  Parallelism{TP: 8, DP: 16, GA: 1},
+			Nodes:                n16,
+			ComputePerMicroBatch: 550 * sim.Millisecond,
+			ComputeJitter:        0.02,
+			SamplesPerIter:       64,
+		},
+		{
+			Name:  "Job2",
+			Model: Llama7B,
+			// DeepSpeed ZeRO, pure DP over 16 nodes.
+			Par:                  Parallelism{DP: 16, GA: 1, ZeRO: true},
+			Nodes:                n16,
+			ComputePerMicroBatch: 1400 * sim.Millisecond,
+			ComputeJitter:        0.02,
+			SamplesPerIter:       256,
+		},
+		{
+			Name:  "Job3",
+			Model: GPT175B,
+			// Megatron, TP8 × PP8 × DP2, GA16.
+			Par:                  Parallelism{TP: 8, PP: 8, DP: 2, GA: 16},
+			Nodes:                n16,
+			ComputePerMicroBatch: 300 * sim.Millisecond,
+			ComputeJitter:        0.02,
+			SamplesPerIter:       128,
+		},
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"testing"
+
+	"c4/internal/sim"
+)
+
+func TestGradBytesPerRank(t *testing.T) {
+	cases := []struct {
+		model Model
+		par   Parallelism
+		want  float64
+	}{
+		{GPT22B, Parallelism{TP: 8}, 22e9 * 2 / 8},
+		{GPT175B, Parallelism{TP: 8, PP: 8}, 175e9 * 2 / 64},
+		{Llama7B, Parallelism{}, 7e9 * 2},
+		{Llama13B, Parallelism{DP: 16}, 13e9 * 2},
+	}
+	for _, c := range cases {
+		if got := c.model.GradBytesPerRank(c.par); got != c.want {
+			t.Fatalf("%s %v: grad bytes = %g, want %g", c.model.Name, c.par, got, c.want)
+		}
+	}
+}
+
+func TestDPGroupsPlacement(t *testing.T) {
+	spec := JobSpec{
+		Name: "g", Model: GPT175B,
+		Par:   Parallelism{TP: 8, PP: 4, DP: 2},
+		Nodes: []int{0, 1, 2, 3, 4, 5, 6, 7},
+	}
+	groups, err := spec.DPGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage s of replica d sits on Nodes[d*PP+s].
+	want := [][]int{{0, 4}, {1, 5}, {2, 6}, {3, 7}}
+	for s := range want {
+		for d := range want[s] {
+			if groups[s][d] != want[s][d] {
+				t.Fatalf("groups = %v, want %v", groups, want)
+			}
+		}
+	}
+	// Wrong node count is rejected.
+	spec.Nodes = spec.Nodes[:3]
+	if _, err := spec.DPGroups(); err == nil {
+		t.Fatal("node-count mismatch accepted")
+	}
+}
+
+func TestIterComputeTimeIncludesBubble(t *testing.T) {
+	spec := JobSpec{
+		Par:                  Parallelism{PP: 8, GA: 16},
+		ComputePerMicroBatch: 100 * sim.Millisecond,
+	}
+	// GA + (PP-1) micro-batch slots.
+	if got := spec.IterComputeTime(); got != 23*100*sim.Millisecond {
+		t.Fatalf("iter compute = %v, want 2.3s", got)
+	}
+}
+
+func TestFig14JobsShape(t *testing.T) {
+	nodes := make([]int, 16)
+	for i := range nodes {
+		nodes[i] = i
+	}
+	jobs := Fig14Jobs(nodes)
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	// Job1: one DP group of 16; Job3: 8 groups of 2 with GA=16.
+	g1, err := jobs[0].DPGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1) != 1 || len(g1[0]) != 16 {
+		t.Fatalf("job1 groups = %v", g1)
+	}
+	g3, err := jobs[2].DPGroups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g3) != 8 || jobs[2].Par.GA != 16 {
+		t.Fatalf("job3 shape wrong: %v GA=%d", g3, jobs[2].Par.GA)
+	}
+	if !jobs[1].Par.ZeRO {
+		t.Fatal("job2 must be ZeRO")
+	}
+	// Every job fits the 16-node testbed.
+	for _, j := range jobs {
+		if len(j.Nodes) != 16 {
+			t.Fatalf("%s nodes = %d", j.Name, len(j.Nodes))
+		}
+	}
+}
