@@ -1,0 +1,38 @@
+# Tier-1 verification plus the race-enabled CI loop for the C4
+# reproduction. `make ci` is the one-command gate: vet + build + the full
+# test suite, then the short suite again under the race detector (which
+# also proves the parallel scenario runner shares no state).
+
+GO ?= go
+
+.PHONY: all build vet test test-race ci bench experiments clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full tier-1 suite: every scenario's shape check plus the byte-identical
+# serial-vs-parallel replay comparison.
+test:
+	$(GO) test ./...
+
+# Short suite under the race detector: slow sweeps are skipped, every
+# other scenario still runs twice (serially and on the worker pool).
+test-race:
+	$(GO) test -race -short ./...
+
+ci: vet build test test-race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# Regenerate the paper-vs-measured table from a full registry sweep.
+experiments:
+	$(GO) run ./cmd/c4bench -md > EXPERIMENTS.md
+
+clean:
+	$(GO) clean ./...

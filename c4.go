@@ -45,6 +45,7 @@ import (
 	"c4/internal/job"
 	"c4/internal/netsim"
 	"c4/internal/rca"
+	"c4/internal/scenario"
 	"c4/internal/sched"
 	"c4/internal/sim"
 	"c4/internal/steering"
@@ -293,3 +294,35 @@ var (
 	RunKappaSweep        = harness.RunKappaSweep
 	RunQPSweep           = harness.RunQPSweep
 )
+
+// Scenario registry and parallel experiment runner. Every experiment above
+// is also registered as a named scenario; downstream users can register
+// their own workloads and run any selection concurrently, with results
+// guaranteed byte-identical to a serial sweep.
+type (
+	// Scenario is one named, parameterized experiment.
+	Scenario = scenario.Scenario
+	// ScenarioCtx carries the seed and statistics of one execution.
+	ScenarioCtx = scenario.Ctx
+	// ScenarioResult is a printable, shape-checked experiment outcome.
+	ScenarioResult = scenario.Result
+	// ScenarioRunner executes scenario sets on a worker pool.
+	ScenarioRunner = scenario.Runner
+	// ScenarioReport is one scenario's outcome plus execution stats.
+	ScenarioReport = scenario.Report
+)
+
+// RegisterScenario adds an experiment to the global registry.
+func RegisterScenario(s Scenario) { scenario.Register(s) }
+
+// Scenarios lists every registered scenario in registration order.
+func Scenarios() []Scenario { return scenario.All() }
+
+// GetScenario fetches a registered scenario by name.
+func GetScenario(name string) (Scenario, bool) { return scenario.Get(name) }
+
+// SelectScenarios resolves a comma-separated selection (globs allowed).
+func SelectScenarios(selection string) ([]Scenario, error) { return scenario.Select(selection) }
+
+// RunScenario executes one scenario with the given seed.
+func RunScenario(s Scenario, seed int64) ScenarioReport { return scenario.RunOne(s, seed) }

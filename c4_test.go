@@ -142,3 +142,43 @@ func TestFacadeExperimentRunners(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFacadeScenarioRegistry(t *testing.T) {
+	// The paper's experiments arrive with the facade import.
+	if len(Scenarios()) == 0 {
+		t.Fatal("no scenarios registered through the facade")
+	}
+	s, ok := GetScenario("nccltest")
+	if !ok {
+		t.Fatal("nccltest scenario missing")
+	}
+	rep := RunScenario(s, 1)
+	if rep.Err != nil || rep.ShapeErr != nil {
+		t.Fatalf("nccltest: err=%v shape=%v", rep.Err, rep.ShapeErr)
+	}
+
+	// Downstream users can register and select their own workloads. The
+	// registry is process-global, so guard against re-registration when
+	// the test binary reruns in one process (go test -count=N).
+	if _, dup := GetScenario("facade-custom"); !dup {
+		RegisterScenario(Scenario{
+			Name: "facade-custom", Group: "test", Description: "facade registration",
+			Paper: "n/a",
+			Run: func(c *ScenarioCtx) ScenarioResult {
+				return RunScenario(s, c.Seed).Result
+			},
+		})
+	}
+	sel, err := SelectScenarios("facade-custom")
+	if err != nil || len(sel) != 1 {
+		t.Fatalf("SelectScenarios = %v, %v", sel, err)
+	}
+	runner := &ScenarioRunner{Workers: 2}
+	reps := runner.Run(1, append(sel, s))
+	if reps[0].Err != nil || reps[1].Err != nil {
+		t.Fatalf("runner through facade: %+v", reps)
+	}
+	if reps[0].Result.String() != reps[1].Result.String() {
+		t.Fatal("custom wrapper diverged from direct run")
+	}
+}

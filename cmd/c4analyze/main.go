@@ -7,8 +7,10 @@
 // Usage:
 //
 //	c4analyze conn-stats.csv            # analyze an archived stats file
-//	c4analyze -demo -dir /tmp/stats     # generate demo stats (with an
-//	                                    # injected slow NIC) and analyze
+//	c4analyze -demo -dir /tmp/stats     # run the registered analyzer-demo
+//	                                    # scenario (an injected slow NIC),
+//	                                    # archive its stats, and analyze
+//	c4analyze -list                     # enumerate registered scenarios
 package main
 
 import (
@@ -17,23 +19,28 @@ import (
 	"os"
 	"path/filepath"
 
-	"c4/internal/accl"
 	"c4/internal/c4d"
 	"c4/internal/harness"
+	"c4/internal/scenario"
 	"c4/internal/sim"
-	"c4/internal/topo"
 )
 
 func main() {
 	var (
-		demo   = flag.Bool("demo", false, "generate demo stats from a simulated faulty run, then analyze")
+		demo   = flag.Bool("demo", false, "generate demo stats from the analyzer-demo scenario, then analyze")
 		dir    = flag.String("dir", ".", "directory for demo stats files")
 		window = flag.Duration("window", 10e9, "analysis window")
 		kappa  = flag.Float64("kappa", 2, "slowdown multiple considered anomalous")
 		frac   = flag.Float64("frac", 0.6, "row/column fraction for NIC-side verdicts")
 		seed   = flag.Int64("seed", 1, "simulation seed (demo mode)")
+		list   = flag.Bool("list", false, "list registered scenarios and exit")
 	)
 	flag.Parse()
+
+	if *list {
+		scenario.FprintList(os.Stdout, scenario.All())
+		return
+	}
 
 	var path string
 	switch {
@@ -86,37 +93,29 @@ func main() {
 	}
 }
 
-// generateDemo runs a short monitored training loop with a mid-run Rx
-// degradation and writes all four stats files, returning the conn-stats
-// path.
+// generateDemo executes the registered analyzer-demo scenario through the
+// runner and archives all four stats files from its recorder, returning
+// the conn-stats path.
 func generateDemo(dir string, seed int64) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	env := harness.NewEnv(topo.MultiJobTestbed(8))
-	rec := &accl.Recorder{}
-	comm, err := accl.NewCommunicator(accl.Config{
-		Engine: env.Eng, Net: env.Net,
-		Provider: env.NewProvider(harness.C4PStatic, seed),
-		Sink:     rec, Rails: []int{0},
-		Rand: sim.NewRand(seed),
-	}, []int{0, 8, 1, 9, 2, 10})
-	if err != nil {
-		return "", err
+	s, ok := scenario.Get("analyzer-demo")
+	if !ok {
+		return "", fmt.Errorf("analyzer-demo scenario not registered")
 	}
-	var iterate func()
-	iterate = func() {
-		comm.AllReduce(64<<20, nil, func(accl.Result) { iterate() })
+	rep := scenario.RunOne(s, seed)
+	if rep.Err != nil {
+		return "", rep.Err
 	}
-	iterate()
-	env.Eng.Schedule(30*sim.Second, func() {
-		// Node 9's receive side degrades: the analyzer should localize
-		// the 1->9 connection in the affected windows.
-		for p := 0; p < topo.Planes; p++ {
-			env.Net.SetLinkCapacity(env.Topo.PortAt(9, 0, p).Down, 25)
-		}
-	})
-	env.Eng.RunUntil(60 * sim.Second)
+	if rep.ShapeErr != nil {
+		// The stats files are still valid data, but the demo no longer
+		// demonstrates the injected fault — say so rather than archiving
+		// a broken demonstration silently.
+		fmt.Fprintf(os.Stderr, "c4analyze: warning: demo scenario failed its shape check: %v\n", rep.ShapeErr)
+	}
+	res := rep.Result.(harness.AnalyzerDemoResult)
+	rec := res.Recorder
 
 	write := func(name string, fn func(f *os.File) error) error {
 		f, err := os.Create(filepath.Join(dir, name))

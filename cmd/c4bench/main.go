@@ -1,63 +1,126 @@
-// Command c4bench runs the full C4 evaluation harness: every table and
-// figure of the paper, printed with shape-check verdicts.
+// Command c4bench runs the C4 evaluation harness through the scenario
+// registry: any selection of the paper's tables, figures, ablations and
+// pipelines, executed concurrently on a worker pool, printed with shape-
+// check verdicts and per-scenario wall-time/event statistics.
+//
+// Examples:
+//
+//	c4bench                      # every registered scenario
+//	c4bench -list                # enumerate scenarios
+//	c4bench -only fig12,fig13    # a selection
+//	c4bench -only 'ablation-*'   # glob selection
+//	c4bench -md > EXPERIMENTS.md # paper-vs-measured markdown table
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"sort"
+	"strings"
 
-	"c4/internal/harness"
+	_ "c4/internal/harness" // registers every scenario
+	"c4/internal/scenario"
 )
 
 func main() {
-	seed := flag.Int64("seed", 1, "simulation seed")
-	only := flag.String("only", "", "run a single experiment (tableI, tableIII, fig3, fig9, fig10, fig11, fig12, fig13, fig14)")
+	var (
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		only    = flag.String("only", "all", "comma-separated scenario names (globs allowed)")
+		workers = flag.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list registered scenarios and exit")
+		md      = flag.Bool("md", false, "emit the EXPERIMENTS.md paper-vs-measured table")
+	)
 	flag.Parse()
 
-	type exp struct {
-		name string
-		run  func() (fmt.Stringer, error)
+	if *list {
+		scenario.FprintList(os.Stdout, scenario.All())
+		return
 	}
-	check := func(s interface {
-		fmt.Stringer
-		CheckShape() error
-	}) (fmt.Stringer, error) {
-		return s, s.CheckShape()
+
+	scns, err := scenario.Select(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c4bench: %v\n", err)
+		os.Exit(2)
 	}
-	exps := []exp{
-		{"tableI", func() (fmt.Stringer, error) { return check(harness.RunTableI(*seed)) }},
-		{"tableIII", func() (fmt.Stringer, error) { return check(harness.RunTableIII(*seed)) }},
-		{"fig3", func() (fmt.Stringer, error) { return check(harness.RunFig3(*seed)) }},
-		{"fig9", func() (fmt.Stringer, error) { return check(harness.RunFig9(*seed)) }},
-		{"fig10a", func() (fmt.Stringer, error) { return check(harness.RunFig10(*seed, 8)) }},
-		{"fig10b", func() (fmt.Stringer, error) { return check(harness.RunFig10(*seed, 4)) }},
-		{"fig11", func() (fmt.Stringer, error) { return check(harness.RunFig11(*seed)) }},
-		{"fig12", func() (fmt.Stringer, error) { return check(harness.RunFig12(*seed)) }},
-		{"fig13", func() (fmt.Stringer, error) { return check(harness.RunFig13(*seed)) }},
-		{"fig14", func() (fmt.Stringer, error) { return check(harness.RunFig14(*seed)) }},
-		{"pipeline", func() (fmt.Stringer, error) { return check(harness.RunPipeline(*seed)) }},
-		{"ablation-plane", func() (fmt.Stringer, error) { return check(harness.RunPlaneRuleAblation(*seed)) }},
-		{"ablation-algo", func() (fmt.Stringer, error) { return check(harness.RunAlgoCrossover(*seed)) }},
-		{"ablation-ckpt", func() (fmt.Stringer, error) { return check(harness.RunCkptSweep(*seed)) }},
-		{"ablation-kappa", func() (fmt.Stringer, error) { return check(harness.RunKappaSweep(*seed)) }},
-		{"ablation-qp", func() (fmt.Stringer, error) { return check(harness.RunQPSweep(*seed)) }},
-	}
+	runner := &scenario.Runner{Workers: *workers}
+	reports := runner.Run(*seed, scns)
+
 	failures := 0
-	for _, e := range exps {
-		if *only != "" && *only != e.name && !(len(*only) >= 5 && e.name[:min(len(e.name), len(*only))] == *only) {
-			continue
-		}
-		res, err := e.run()
-		fmt.Println("==============================================")
-		fmt.Println(res)
-		if err != nil {
-			failures++
-			fmt.Printf("SHAPE CHECK FAILED: %v\n", err)
-		} else {
-			fmt.Println("shape check: OK")
+	if *md {
+		failures = writeMarkdown(os.Stdout, scns, reports, *seed)
+	} else {
+		for _, rep := range reports {
+			fmt.Println("==============================================")
+			if scenario.FprintReport(os.Stdout, rep) {
+				failures++
+			}
 		}
 	}
 	if failures > 0 {
-		fmt.Printf("\n%d experiment(s) failed shape checks\n", failures)
+		fmt.Fprintf(os.Stderr, "c4bench: %d scenario(s) failed\n", failures)
+		os.Exit(1)
 	}
+}
+
+// writeMarkdown renders the paper-vs-measured table EXPERIMENTS.md holds,
+// returning how many scenarios failed their run or shape check.
+func writeMarkdown(w *os.File, scns []scenario.Scenario, reports []scenario.Report, seed int64) int {
+	fmt.Fprintln(w, "# EXPERIMENTS — paper vs measured")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Every table and figure of the C4 paper (Dong et al., HPCA 2025,")
+	fmt.Fprintln(w, "arXiv:2406.04594), reproduced on the simulated substrate through the")
+	fmt.Fprintln(w, "scenario registry. Regenerate with `make experiments` (or")
+	fmt.Fprintf(w, "`go run ./cmd/c4bench -md -seed %d > EXPERIMENTS.md`). Each scenario\n", seed)
+	fmt.Fprintln(w, "is runnable by name: `go run ./cmd/c4bench -only <scenario>`.")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "| scenario | group | paper says | measured (seed %d) | shape check |\n", seed)
+	fmt.Fprintln(w, "|---|---|---|---|---|")
+	failures := 0
+	for i, rep := range reports {
+		s := scns[i]
+		measured, verdict := "", "OK"
+		switch {
+		case rep.Err != nil:
+			measured, verdict = rep.Err.Error(), "FAIL"
+		case s.Summarize != nil:
+			measured = s.Summarize(rep.Result)
+		default:
+			measured = "(no summarizer)"
+		}
+		if rep.Err == nil && rep.ShapeErr != nil {
+			verdict = "FAIL: " + rep.ShapeErr.Error()
+		}
+		if verdict != "OK" {
+			failures++
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
+			s.Name, s.Group, escape(s.Paper), escape(measured), escape(verdict))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Scenario parameters:")
+	fmt.Fprintln(w)
+	for i, s := range scns {
+		if len(s.Params) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(s.Params))
+		for k := range s.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for j, k := range keys {
+			parts[j] = k + "=" + s.Params[k]
+		}
+		// Wall time is host-dependent; only the deterministic event count
+		// goes into the committed file, so regeneration is byte-stable.
+		fmt.Fprintf(w, "- `%s`: %s (%d events)\n",
+			s.Name, strings.Join(parts, ", "), reports[i].Events)
+	}
+	return failures
+}
+
+func escape(s string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(s, "|", "\\|"), "\n", " ")
 }

@@ -1,13 +1,17 @@
 // Command c4sim runs an end-to-end training scenario on the simulated
 // cluster: a distributed job under C4D monitoring and C4P traffic
 // engineering, with an injectable fault, driving the full detect ->
-// isolate -> restart loop and printing the timeline.
+// isolate -> restart loop and printing the timeline. It can also run any
+// experiment from the scenario registry by name.
 //
 // Example:
 //
 //	c4sim -job gpt22b -fault crash -fault-at 30s
 //	c4sim -job llama7b -fault straggler -horizon 10m
 //	c4sim -job gpt22b -fault nic -no-c4d   # watch the job hang without C4D
+//	c4sim -list                            # enumerate registered scenarios
+//	c4sim -scenario fig12                  # run one paper experiment
+//	c4sim -scenario 'fig*,pipeline'        # run a selection concurrently
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"c4/internal/harness"
 	"c4/internal/job"
 	"c4/internal/rca"
+	"c4/internal/scenario"
 	"c4/internal/sched"
 	"c4/internal/sim"
 	"c4/internal/steering"
@@ -39,8 +44,19 @@ func main() {
 		noC4D     = flag.Bool("no-c4d", false, "disable C4D monitoring and recovery")
 		placement = flag.String("placement", "spread", "node placement: topo (pack leaf groups) | spread (maximize spine traffic)")
 		seed      = flag.Int64("seed", 1, "simulation seed")
+		list      = flag.Bool("list", false, "list registered scenarios and exit")
+		scenarios = flag.String("scenario", "", "run registered scenarios by name (comma-separated, globs allowed) instead of the interactive job sim")
+		workers   = flag.Int("workers", 0, "concurrent scenarios with -scenario (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+
+	if *list {
+		scenario.FprintList(os.Stdout, scenario.All())
+		return
+	}
+	if *scenarios != "" {
+		os.Exit(runScenarios(*scenarios, *seed, *workers))
+	}
 
 	spec := topo.MultiJobTestbed(8)
 	spec.Nodes = 24 // 16 primaries + 8 spares
@@ -211,4 +227,25 @@ func main() {
 	if master != nil {
 		logf("C4D emitted %d events", len(master.Events()))
 	}
+}
+
+// runScenarios executes a registry selection on the worker-pool runner and
+// prints each result with its shape verdict and execution stats.
+func runScenarios(selection string, seed int64, workers int) int {
+	scns, err := scenario.Select(selection)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+		return 2
+	}
+	reports := (&scenario.Runner{Workers: workers}).Run(seed, scns)
+	failures := 0
+	for _, rep := range reports {
+		if scenario.FprintReport(os.Stdout, rep) {
+			failures++
+		}
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
 }

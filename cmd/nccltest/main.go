@@ -1,7 +1,8 @@
 // Command nccltest is the simulated equivalent of NVIDIA's nccl-tests
 // collective benchmark used throughout the paper's evaluation: it runs
 // repeated ring allreduce operations on the simulated testbed and reports
-// per-iteration and mean bus bandwidth.
+// per-iteration and mean bus bandwidth. The same benchmark is registered
+// in the scenario registry as "nccltest" at its default configuration.
 //
 // Example:
 //
@@ -42,42 +43,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "nccltest: unknown provider %q\n", *provider)
 		os.Exit(2)
 	}
-
-	spec := topo.MultiJobTestbed(*spines)
-	if *nodes > spec.Nodes {
-		fmt.Fprintf(os.Stderr, "nccltest: at most %d nodes on this testbed\n", spec.Nodes)
+	if max := topo.MultiJobTestbed(*spines).Nodes; *nodes > max {
+		fmt.Fprintf(os.Stderr, "nccltest: at most %d nodes on this testbed\n", max)
 		os.Exit(2)
 	}
-	env := harness.NewEnv(spec)
-	ringNodes := make([]int, *nodes)
-	for i := range ringNodes {
-		// Alternate leaf groups so every ring edge crosses the spines.
-		if i%2 == 0 {
-			ringNodes[i] = i / 2
-		} else {
-			ringNodes[i] = 8 + i/2
-		}
-	}
-	bench, err := harness.StartBench(env, harness.BenchConfig{
-		Nodes:      ringNodes,
-		Bytes:      *mib * (1 << 20),
-		Iters:      *iters,
-		Provider:   env.NewProvider(kind, *seed),
-		QPsPerConn: *qps,
-		Adaptive:   kind == harness.C4PDynamic,
-		Seed:       *seed,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "nccltest: %v\n", err)
-		os.Exit(1)
-	}
-	env.Eng.Run()
 
-	fmt.Printf("# nccltest (simulated) — allreduce, ring, %d nodes (%d GPUs), %s, %.0f MiB\n",
-		*nodes, *nodes*spec.GPUsPerNode, kind, *mib)
-	fmt.Printf("%-6s %-12s %-12s\n", "iter", "t(s)", "busbw(Gbps)")
-	for i, s := range bench.Series.Samples {
-		fmt.Printf("%-6d %-12.3f %-12.1f\n", i, s.T, s.V)
-	}
-	fmt.Printf("# mean busbw: %.1f Gbps\n", bench.MeanBusGbps())
+	defer func() {
+		if p := recover(); p != nil {
+			fmt.Fprintf(os.Stderr, "nccltest: %v\n", p)
+			os.Exit(1)
+		}
+	}()
+	res := harness.RunNCCLTest(*seed, harness.NCCLTestSpec{
+		Nodes: *nodes, Spines: *spines, MiB: *mib, Iters: *iters,
+		Kind: kind, QPsPerConn: *qps,
+	})
+	fmt.Print(res)
 }

@@ -1,0 +1,3 @@
+module c4
+
+go 1.22

@@ -68,8 +68,6 @@ type connKey struct {
 	src, dst, rail int
 }
 
-var nextCommID int
-
 // NewCommunicator creates a communicator over the given nodes (ring order
 // as listed). Nodes must be distinct.
 func NewCommunicator(cfg Config, nodes []int) (*Communicator, error) {
@@ -98,9 +96,8 @@ func NewCommunicator(cfg Config, nodes []int) (*Communicator, error) {
 	if cfg.Rand == nil {
 		cfg.Rand = sim.NewRand(1)
 	}
-	nextCommID++
 	c := &Communicator{
-		ID:      nextCommID,
+		ID:      cfg.Engine.NextID("comm"),
 		cfg:     cfg,
 		nodes:   append([]int(nil), nodes...),
 		conns:   make(map[connKey]*Conn),
@@ -199,8 +196,6 @@ func (q *QP) Path() *topo.Path {
 	return q.assign.Path
 }
 
-var nextQPN = 1000
-
 // getConn returns (creating if needed) the transport src -> dst on rail.
 func (c *Communicator) getConn(src, dst, rail int) (*Conn, error) {
 	key := connKey{src, dst, rail}
@@ -209,8 +204,7 @@ func (c *Communicator) getConn(src, dst, rail int) (*Conn, error) {
 	}
 	conn := &Conn{Src: src, Dst: dst, Rail: rail}
 	for i := 0; i < c.cfg.QPsPerConn; i++ {
-		nextQPN++
-		qp := &QP{QPN: nextQPN, weight: 1 / float64(c.cfg.QPsPerConn)}
+		qp := &QP{QPN: 1000 + c.cfg.Engine.NextID("qpn"), weight: 1 / float64(c.cfg.QPsPerConn)}
 		req := ConnRequest{
 			Comm: c.ID, SrcNode: src, DstNode: dst, Rail: rail,
 			QPN: qp.QPN, QPIndex: i, QPCount: c.cfg.QPsPerConn,

@@ -47,12 +47,27 @@ func AnalyzeDelayMatrix(bw map[[2]int]float64, kappa, rowColFrac float64) []Matr
 		src, dst int
 		slow     float64
 	}
+	// Iterate cells in (src, dst) order: map iteration order is randomized,
+	// and the float accumulation below must not depend on it — equal inputs
+	// must yield bit-identical findings (the replay tests assert this).
+	keys := make([][2]int, 0, len(bw))
+	for key := range bw {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+
 	var anomalous []cell
 	rowCells := map[int]int{} // src -> total observed cells
 	colCells := map[int]int{}
 	rowBad := map[int][]cell{}
 	colBad := map[int][]cell{}
-	for key, v := range bw {
+	for _, key := range keys {
+		v := bw[key]
 		src, dst := key[0], key[1]
 		rowCells[src]++
 		colCells[dst]++

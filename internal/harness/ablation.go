@@ -8,6 +8,7 @@ import (
 	"c4/internal/c4d"
 	"c4/internal/c4p"
 	"c4/internal/metrics"
+	"c4/internal/scenario"
 	"c4/internal/sim"
 	"c4/internal/steering"
 	"c4/internal/topo"
@@ -26,11 +27,16 @@ type PlaneRuleAblation struct {
 
 // RunPlaneRuleAblation measures an 8-node allreduce under both variants.
 func RunPlaneRuleAblation(seed int64) PlaneRuleAblation {
+	return runPlaneRuleAblation(scenario.NewCtx(seed))
+}
+
+func runPlaneRuleAblation(ctx *scenario.Ctx) PlaneRuleAblation {
+	seed := ctx.Seed
 	run := func(disable bool) float64 {
 		var total float64
 		const draws = 5
 		for d := int64(0); d < draws; d++ {
-			e := NewEnv(topo.MultiJobTestbed(8))
+			e := newEnv(ctx, topo.MultiJobTestbed(8))
 			m := c4p.NewMaster(e.Topo, c4p.Static, sim.NewRand(seed+d))
 			m.DisablePlaneRule = disable
 			b, err := StartBench(e, BenchConfig{
@@ -80,11 +86,16 @@ type AlgoCrossover struct {
 // RunAlgoCrossover sweeps message sizes on an 8-node communicator with
 // chunked (stepwise) ring execution so per-step latency is charged.
 func RunAlgoCrossover(seed int64) AlgoCrossover {
+	return runAlgoCrossover(scenario.NewCtx(seed))
+}
+
+func runAlgoCrossover(ctx *scenario.Ctx) AlgoCrossover {
+	seed := ctx.Seed
 	res := AlgoCrossover{}
 	for _, mib := range []float64{0.25, 1, 4, 16, 64, 256} {
 		res.SizesMiB = append(res.SizesMiB, mib)
 		run := func(tree bool) float64 {
-			e := NewEnv(topo.MultiJobTestbed(8))
+			e := newEnv(ctx, topo.MultiJobTestbed(8))
 			comm, err := accl.NewCommunicator(accl.Config{
 				Engine: e.Eng, Net: e.Net,
 				Provider: e.NewProvider(C4PStatic, seed),
@@ -157,7 +168,10 @@ type CkptSweep struct {
 }
 
 // RunCkptSweep Monte-Carlos the December regime at varying intervals.
-func RunCkptSweep(seed int64) CkptSweep {
+func RunCkptSweep(seed int64) CkptSweep { return runCkptSweep(scenario.NewCtx(seed)) }
+
+func runCkptSweep(ctx *scenario.Ctx) CkptSweep {
+	seed := ctx.Seed
 	res := CkptSweep{}
 	for _, minutes := range []float64{5, 10, 30, 60, 160} {
 		reg := steering.C4DRegime()
@@ -221,8 +235,10 @@ type KappaSweep struct {
 }
 
 // RunKappaSweep Monte-Carlos both rates per threshold.
-func RunKappaSweep(seed int64) KappaSweep {
-	r := sim.NewRand(seed)
+func RunKappaSweep(seed int64) KappaSweep { return runKappaSweep(scenario.NewCtx(seed)) }
+
+func runKappaSweep(ctx *scenario.Ctx) KappaSweep {
+	r := sim.NewRand(ctx.Seed)
 	res := KappaSweep{}
 	const trials = 200
 	const n = 8
@@ -318,13 +334,16 @@ type QPSweep struct {
 }
 
 // RunQPSweep measures a 8-node baseline allreduce at 1..8 QPs/connection.
-func RunQPSweep(seed int64) QPSweep {
+func RunQPSweep(seed int64) QPSweep { return runQPSweep(scenario.NewCtx(seed)) }
+
+func runQPSweep(ctx *scenario.Ctx) QPSweep {
+	seed := ctx.Seed
 	res := QPSweep{}
 	for _, qps := range []int{2, 4, 8, 16} {
 		var total float64
 		const draws = 6
 		for d := int64(0); d < draws; d++ {
-			e := NewEnv(topo.MultiJobTestbed(8))
+			e := newEnv(ctx, topo.MultiJobTestbed(8))
 			b, err := StartBench(e, BenchConfig{
 				Nodes: interleavedNodes(8), Bytes: 256 << 20, Iters: 3,
 				Provider: e.NewProvider(Baseline, seed+100*d), QPsPerConn: qps, Seed: seed + d,

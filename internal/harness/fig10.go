@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"c4/internal/metrics"
+	"c4/internal/scenario"
 	"c4/internal/sim"
 	"c4/internal/topo"
 )
@@ -42,6 +43,11 @@ func runConcurrentJobs(e *Env, kind ProviderKind, seed int64, until sim.Time, qp
 
 // RunFig10 executes one oversubscription setting.
 func RunFig10(seed int64, spines int) Fig10Result {
+	return runFig10(scenario.NewCtx(seed), spines)
+}
+
+func runFig10(ctx *scenario.Ctx, spines int) Fig10Result {
+	seed := ctx.Seed
 	res := Fig10Result{Spines: spines}
 	if spines >= 8 {
 		res.Oversub = "1:1"
@@ -51,7 +57,7 @@ func RunFig10(seed int64, spines int) Fig10Result {
 	const horizon = 60 * sim.Second
 	var sums [2]float64
 	for pi, kind := range []ProviderKind{Baseline, C4PStatic} {
-		e := NewEnv(topo.MultiJobTestbed(spines))
+		e := newEnv(ctx, topo.MultiJobTestbed(spines))
 		benches := runConcurrentJobs(e, kind, seed, horizon, 2, false)
 		e.Eng.RunUntil(horizon + 30*sim.Second) // let in-flight iterations drain
 		for _, b := range benches {

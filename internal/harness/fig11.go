@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"c4/internal/metrics"
+	"c4/internal/scenario"
 	"c4/internal/sim"
 	"c4/internal/topo"
 )
@@ -24,8 +25,11 @@ type Fig11Result struct {
 // RunFig11 repeats the Fig 10b C4P run and samples CNP counters once per
 // virtual second. Sampling noise (±12%, seeded) models the burstiness of
 // hardware CNP generation that the fluid model averages away.
-func RunFig11(seed int64) Fig11Result {
-	e := NewEnv(topo.MultiJobTestbed(4))
+func RunFig11(seed int64) Fig11Result { return runFig11(scenario.NewCtx(seed)) }
+
+func runFig11(ctx *scenario.Ctx) Fig11Result {
+	seed := ctx.Seed
+	e := newEnv(ctx, topo.MultiJobTestbed(4))
 	const horizon = 60 * sim.Second
 	runConcurrentJobs(e, C4PStatic, seed, horizon, 2, false)
 

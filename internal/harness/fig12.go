@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"c4/internal/metrics"
+	"c4/internal/scenario"
 	"c4/internal/sim"
 	"c4/internal/topo"
 )
@@ -30,13 +31,16 @@ type Fig12Result struct {
 
 // RunFig12 executes both variants on the 1:1 fabric, killing one of the
 // affected leaf's 8 uplinks (both directions of the cable) mid-run.
-func RunFig12(seed int64) Fig12Result {
+func RunFig12(seed int64) Fig12Result { return runFig12(scenario.NewCtx(seed)) }
+
+func runFig12(ctx *scenario.Ctx) Fig12Result {
+	seed := ctx.Seed
 	const (
 		failAt  = 30 * sim.Second
 		horizon = 90 * sim.Second
 	)
 	run := func(kind ProviderKind, qps int, adaptive bool, label string) Fig12Variant {
-		e := NewEnv(topo.MultiJobTestbed(8))
+		e := newEnv(ctx, topo.MultiJobTestbed(8))
 		benches := runConcurrentJobs(e, kind, seed, horizon, qps, adaptive)
 		e.Eng.Schedule(failAt, func() {
 			leaf := e.Topo.LeafAt(0, 0, 0)

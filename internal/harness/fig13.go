@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"c4/internal/metrics"
+	"c4/internal/scenario"
 	"c4/internal/sim"
 	"c4/internal/topo"
 )
@@ -32,7 +33,10 @@ type Fig13Result struct {
 // leaf's uplink counters, reproducing the paper's switch-port bandwidth
 // comparison: without dynamic load balance the orphaned traffic piles onto
 // a few ports; with it the load spreads across all surviving uplinks.
-func RunFig13(seed int64) Fig13Result {
+func RunFig13(seed int64) Fig13Result { return runFig13(scenario.NewCtx(seed)) }
+
+func runFig13(ctx *scenario.Ctx) Fig13Result {
+	seed := ctx.Seed
 	const (
 		failAt   = 30 * sim.Second
 		horizon  = 90 * sim.Second
@@ -40,7 +44,7 @@ func RunFig13(seed int64) Fig13Result {
 		failIdx  = 2
 	)
 	run := func(kind ProviderKind, qps int, adaptive bool, label string) Fig13Variant {
-		e := NewEnv(topo.MultiJobTestbed(8))
+		e := newEnv(ctx, topo.MultiJobTestbed(8))
 		benches := runConcurrentJobs(e, kind, seed, horizon, qps, adaptive)
 		leaf := e.Topo.LeafAt(0, 0, 0)
 		e.Eng.Schedule(failAt, func() {

@@ -6,6 +6,7 @@ import (
 
 	"c4/internal/job"
 	"c4/internal/metrics"
+	"c4/internal/scenario"
 	"c4/internal/sim"
 	"c4/internal/topo"
 	"c4/internal/workload"
@@ -26,13 +27,16 @@ type Fig14Result struct {
 
 // RunFig14 measures each job alone on the testbed under both providers,
 // averaging the baseline over ECMP draws.
-func RunFig14(seed int64) Fig14Result {
+func RunFig14(seed int64) Fig14Result { return runFig14(scenario.NewCtx(seed)) }
+
+func runFig14(ctx *scenario.Ctx) Fig14Result {
+	seed := ctx.Seed
 	res := Fig14Result{}
 	specs := workload.Fig14Jobs(interleavedNodes(16))
 	for _, spec := range specs {
 		res.Jobs = append(res.Jobs, fmt.Sprintf("%s (%s, %s)", spec.Name, spec.Model.Name, spec.Par))
 		run := func(kind ProviderKind, s int64) float64 {
-			e := NewEnv(topo.MultiJobTestbed(8))
+			e := newEnv(ctx, topo.MultiJobTestbed(8))
 			j, err := job.New(job.Config{
 				Engine: e.Eng, Net: e.Net,
 				Provider: e.NewProvider(kind, s),

@@ -6,6 +6,7 @@ import (
 
 	"c4/internal/job"
 	"c4/internal/metrics"
+	"c4/internal/scenario"
 	"c4/internal/sim"
 	"c4/internal/topo"
 	"c4/internal/workload"
@@ -48,7 +49,10 @@ func fig3Job(nodes []int) workload.JobSpec {
 // RunFig3 sweeps 2..64 nodes, averaging the baseline over ECMP hash draws
 // (a job's QP placement is fixed for its lifetime, so single runs are
 // bimodal at small scale).
-func RunFig3(seed int64) Fig3Result {
+func RunFig3(seed int64) Fig3Result { return runFig3(scenario.NewCtx(seed)) }
+
+func runFig3(ctx *scenario.Ctx) Fig3Result {
+	seed := ctx.Seed
 	res := Fig3Result{}
 	scales := []int{2, 4, 8, 16, 32, 64}
 	var basePerGPU float64
@@ -57,7 +61,7 @@ func RunFig3(seed int64) Fig3Result {
 		const draws = 3
 		var sps float64
 		for d := int64(0); d < draws; d++ {
-			e := NewEnv(fig3Spec())
+			e := newEnv(ctx, fig3Spec())
 			nodes := make([]int, m)
 			for i := range nodes {
 				nodes[i] = i

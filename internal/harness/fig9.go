@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"c4/internal/metrics"
+	"c4/internal/scenario"
 	"c4/internal/topo"
 )
 
@@ -21,7 +22,10 @@ type Fig9Result struct {
 // RunFig9 executes the sweep. Each point is a fresh fabric so runs are
 // independent; the baseline is averaged over several ECMP seeds because a
 // single job either collides or not for its whole lifetime.
-func RunFig9(seed int64) Fig9Result {
+func RunFig9(seed int64) Fig9Result { return runFig9(scenario.NewCtx(seed)) }
+
+func runFig9(ctx *scenario.Ctx) Fig9Result {
+	seed := ctx.Seed
 	res := Fig9Result{}
 	const bytes = 512 << 20
 	for _, m := range []int{2, 4, 8, 16} {
@@ -31,7 +35,7 @@ func RunFig9(seed int64) Fig9Result {
 		var base float64
 		const draws = 5
 		for d := int64(0); d < draws; d++ {
-			e := NewEnv(topo.MultiJobTestbed(8))
+			e := newEnv(ctx, topo.MultiJobTestbed(8))
 			b, err := StartBench(e, BenchConfig{
 				Nodes: interleavedNodes(m), Bytes: bytes, Iters: 4,
 				Provider: e.NewProvider(Baseline, seed+100*d), QPsPerConn: 2, Seed: seed + d,
@@ -44,7 +48,7 @@ func RunFig9(seed int64) Fig9Result {
 		}
 		res.Baseline = append(res.Baseline, base/draws)
 
-		e := NewEnv(topo.MultiJobTestbed(8))
+		e := newEnv(ctx, topo.MultiJobTestbed(8))
 		b, err := StartBench(e, BenchConfig{
 			Nodes: interleavedNodes(m), Bytes: bytes, Iters: 4,
 			Provider: e.NewProvider(C4PStatic, seed), QPsPerConn: 2, Seed: seed,

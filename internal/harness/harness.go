@@ -5,6 +5,13 @@
 // qualitative claims — who wins, by roughly what factor, where crossovers
 // fall. Absolute numbers come from the simulated substrate (DESIGN.md §2)
 // and are compared against the paper's in EXPERIMENTS.md.
+//
+// Every experiment is also registered by name in the scenario registry
+// (register.go): cmd/c4sim, cmd/c4bench and cmd/c4analyze enumerate and
+// run them through the worker-pool runner in internal/scenario, and the
+// tests here prove a parallel sweep reproduces a serial one byte for
+// byte. The RunXxx functions remain as thin wrappers over the registered
+// implementations.
 package harness
 
 import (
@@ -13,6 +20,7 @@ import (
 	"c4/internal/accl"
 	"c4/internal/c4p"
 	"c4/internal/netsim"
+	"c4/internal/scenario"
 	"c4/internal/sim"
 	"c4/internal/topo"
 )
@@ -29,6 +37,14 @@ func NewEnv(spec topo.Spec) *Env {
 	eng := sim.NewEngine()
 	t := topo.MustNew(spec)
 	return &Env{Eng: eng, Topo: t, Net: netsim.New(eng, t, netsim.DefaultConfig())}
+}
+
+// newEnv builds an Env for a scenario run and registers its engine with
+// the context so the runner can report per-scenario event counts.
+func newEnv(ctx *scenario.Ctx, spec topo.Spec) *Env {
+	e := NewEnv(spec)
+	ctx.Track(e.Eng)
+	return e
 }
 
 // ProviderKind selects the path-control policy under test.

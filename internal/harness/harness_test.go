@@ -1,112 +1,179 @@
 package harness
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
+	"c4/internal/scenario"
 	"c4/internal/topo"
 )
 
-// Every experiment must pass its own shape check: these are the paper's
-// qualitative claims (who wins, by roughly what factor, where crossovers
-// fall) asserted against the simulated reproduction.
-
-func TestTableIShape(t *testing.T) {
-	r := RunTableI(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
+// testScenarios returns the registered set under test, honoring -short by
+// dropping the slow sweeps (scale/time-horizon scenarios) consistently.
+func testScenarios(t *testing.T) []scenario.Scenario {
+	t.Helper()
+	var out []scenario.Scenario
+	for _, s := range scenario.All() {
+		if testing.Short() && s.Slow {
+			continue
+		}
+		out = append(out, s)
 	}
-	if !strings.Contains(r.String(), "NCCL Error") {
-		t.Fatal("rendering missing user-view column")
+	if len(out) == 0 {
+		t.Fatal("no scenarios registered")
 	}
+	return out
 }
 
-func TestTableIIIShape(t *testing.T) {
-	r := RunTableIII(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
-	}
-	out := r.String()
-	for _, want := range []string{"Post-Checkpoint", "Diagnosis", "reduction"} {
-		if !strings.Contains(out, want) {
-			t.Fatalf("rendering missing %q", want)
+// TestScenarios is the harness's main test: every registered experiment
+// must satisfy its own shape check — the paper's qualitative claims — and
+// the parallel runner must reproduce a serial execution bit for bit.
+//
+// Both arms run concurrently: the worker-pool runner executes the whole
+// set while each subtest independently re-runs its scenario serially with
+// the same seed, then the renderings are compared byte for byte. The
+// engine's seq-ordered event queue promises this equality; this test
+// proves it (run with -race to also prove the runner shares no state).
+func TestScenarios(t *testing.T) {
+	const seed = 1
+	scns := testScenarios(t)
+
+	var reports []scenario.Report
+	parallelDone := make(chan struct{})
+	go func() {
+		defer close(parallelDone)
+		r := &scenario.Runner{Workers: runtime.GOMAXPROCS(0)}
+		reports = r.Run(seed, scns)
+	}()
+
+	serial := make([]string, len(scns))
+	t.Run("serial", func(t *testing.T) {
+		for i, s := range scns {
+			i, s := i, s
+			t.Run(s.Name, func(t *testing.T) {
+				t.Parallel()
+				res := s.Run(scenario.NewCtx(seed))
+				if err := res.CheckShape(); err != nil {
+					t.Fatalf("shape check: %v\n%s", err, res)
+				}
+				if check := extraChecks[s.Name]; check != nil {
+					check(t, res)
+				}
+				serial[i] = res.String()
+			})
+		}
+	})
+
+	<-parallelDone
+	for i, rep := range reports {
+		if rep.Err != nil {
+			t.Errorf("parallel runner: %v", rep.Err)
+			continue
+		}
+		if rep.ShapeErr != nil {
+			t.Errorf("parallel runner: %s shape check: %v", rep.Name, rep.ShapeErr)
+		}
+		if got := rep.Result.String(); got != serial[i] {
+			t.Errorf("scenario %s: parallel run diverged from serial run\nparallel:\n%s\nserial:\n%s",
+				rep.Name, got, serial[i])
+		}
+		if serial[i] == "" {
+			t.Errorf("scenario %s: empty rendering", rep.Name)
 		}
 	}
 }
 
-func TestFig3Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("scale sweep is slow")
+// extraChecks holds per-experiment assertions stricter than the shape
+// checks: rendering content the CLIs rely on, sampling density, and
+// magnitude bounds the paper claims but CheckShape only loosely enforces.
+var extraChecks = map[string]func(*testing.T, scenario.Result){
+	"tableI": func(t *testing.T, r scenario.Result) {
+		if !strings.Contains(r.String(), "NCCL Error") {
+			t.Fatal("rendering missing user-view column")
+		}
+	},
+	"tableIII": func(t *testing.T, r scenario.Result) {
+		out := r.String()
+		for _, want := range []string{"Post-Checkpoint", "Diagnosis", "reduction"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("rendering missing %q", want)
+			}
+		}
+	},
+	"fig11": func(t *testing.T, r scenario.Result) {
+		f := r.(Fig11Result)
+		if len(f.Ports) != 16 {
+			t.Fatalf("ports = %d, want 16", len(f.Ports))
+		}
+		for _, s := range f.Ports {
+			if s.Len() < 40 {
+				t.Fatalf("series %s too short: %d samples", s.Name, s.Len())
+			}
+		}
+	},
+	"fig12": func(t *testing.T, r scenario.Result) {
+		f := r.(Fig12Result)
+		// Static must be clearly hurt relative to dynamic (paper: 62.3%).
+		if f.Dynamic.PostFailAvg/f.Static.PostFailAvg < 1.2 {
+			t.Fatalf("dynamic/static post-failure ratio too small:\n%s", f)
+		}
+	},
+}
+
+// TestRunnerStats checks the runner's per-scenario accounting on a real
+// event-driven scenario: wall time is measured and every engine the run
+// builds feeds the event counter.
+func TestRunnerStats(t *testing.T) {
+	s, ok := scenario.Get("fig9")
+	if !ok {
+		t.Fatal("fig9 not registered")
 	}
-	r := RunFig3(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
+	rep := scenario.RunOne(s, 1)
+	if rep.Err != nil || rep.ShapeErr != nil {
+		t.Fatalf("fig9: err=%v shape=%v", rep.Err, rep.ShapeErr)
+	}
+	if rep.Events == 0 {
+		t.Fatal("fig9 fired no counted events")
+	}
+	if rep.Wall <= 0 {
+		t.Fatal("wall time not measured")
 	}
 }
 
-func TestFig9Shape(t *testing.T) {
-	r := RunFig9(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
+// TestRegistryCoversHarness pins the registry contents: every paper
+// experiment must be runnable by name.
+func TestRegistryCoversHarness(t *testing.T) {
+	for _, name := range []string{
+		"tableI", "tableIII", "fig3", "fig9", "fig10a", "fig10b", "fig11",
+		"fig12", "fig13", "fig14", "pipeline", "nccltest", "analyzer-demo",
+		"ablation-plane", "ablation-algo", "ablation-ckpt", "ablation-kappa",
+		"ablation-qp",
+	} {
+		if _, ok := scenario.Get(name); !ok {
+			t.Errorf("scenario %q not registered", name)
+		}
 	}
-}
-
-func TestFig10Shapes(t *testing.T) {
-	for _, spines := range []int{8, 4} {
-		r := RunFig10(1, spines)
-		if err := r.CheckShape(); err != nil {
-			t.Fatalf("spines=%d: %v\n%s", spines, err, r)
+	for _, s := range scenario.All() {
+		if s.Group == "" || s.Description == "" || s.Paper == "" {
+			t.Errorf("scenario %q missing metadata", s.Name)
+		}
+		if s.Summarize == nil {
+			t.Errorf("scenario %q has no summarizer", s.Name)
 		}
 	}
 }
 
-func TestFig11Shape(t *testing.T) {
-	r := RunFig11(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
+// TestSummarizersMatchResults runs one cheap scenario end to end and
+// checks its one-line headline renders from the typed result.
+func TestSummarizersMatchResults(t *testing.T) {
+	s, _ := scenario.Get("tableI")
+	rep := scenario.RunOne(s, 1)
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
 	}
-	if len(r.Ports) != 16 {
-		t.Fatalf("ports = %d, want 16", len(r.Ports))
-	}
-	for _, s := range r.Ports {
-		if s.Len() < 40 {
-			t.Fatalf("series %s too short: %d samples", s.Name, s.Len())
-		}
-	}
-}
-
-func TestFig12Shape(t *testing.T) {
-	r := RunFig12(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
-	}
-	// Static must be clearly hurt relative to dynamic (the paper's 62.3%).
-	if r.Dynamic.PostFailAvg/r.Static.PostFailAvg < 1.2 {
-		t.Fatalf("dynamic/static post-failure ratio too small:\n%s", r)
-	}
-}
-
-func TestFig13Shape(t *testing.T) {
-	r := RunFig13(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
-	}
-}
-
-func TestFig14Shape(t *testing.T) {
-	if testing.Short() {
-		t.Skip("job sweep is slow")
-	}
-	r := RunFig14(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
-	}
-}
-
-func TestPipelineShape(t *testing.T) {
-	r := RunPipeline(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
+	if line := s.Summarize(rep.Result); !strings.Contains(line, "local") {
+		t.Fatalf("tableI headline = %q", line)
 	}
 }
 
@@ -120,15 +187,23 @@ func TestSeedsAreDeterministic(t *testing.T) {
 }
 
 func TestDifferentSeedsVaryBaseline(t *testing.T) {
-	a, b := RunFig10(3, 8), RunFig10(4, 8)
-	same := true
-	for i := range a.Baseline {
-		if a.Baseline[i] != b.Baseline[i] {
-			same = false
+	// Two ECMP draws on the collision-prone interleaved placement: with
+	// different seeds the hash outcomes (and hence busbw) must differ.
+	run := func(seed int64) float64 {
+		e := NewEnv(topo.MultiJobTestbed(8))
+		b, err := StartBench(e, BenchConfig{
+			Nodes: interleavedNodes(8), Bytes: 64 << 20, Iters: 2,
+			Provider: e.NewProvider(Baseline, seed), QPsPerConn: 2, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
+		e.Eng.Run()
+		return b.MeanBusGbps()
 	}
-	if same {
-		t.Fatal("different seeds produced identical ECMP baselines")
+	a, b, c := run(3), run(4), run(5)
+	if a == b && b == c {
+		t.Fatalf("three seeds produced identical ECMP baselines (%.1f)", a)
 	}
 }
 
@@ -159,40 +234,5 @@ func TestProviderKinds(t *testing.T) {
 		if k.String() == "unknown" {
 			t.Fatalf("provider %v has no label", k)
 		}
-	}
-}
-
-func TestPlaneRuleAblationShape(t *testing.T) {
-	r := RunPlaneRuleAblation(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
-	}
-}
-
-func TestAlgoCrossoverShape(t *testing.T) {
-	r := RunAlgoCrossover(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
-	}
-}
-
-func TestCkptSweepShape(t *testing.T) {
-	r := RunCkptSweep(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
-	}
-}
-
-func TestKappaSweepShape(t *testing.T) {
-	r := RunKappaSweep(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
-	}
-}
-
-func TestQPSweepShape(t *testing.T) {
-	r := RunQPSweep(1)
-	if err := r.CheckShape(); err != nil {
-		t.Fatalf("%v\n%s", err, r)
 	}
 }

@@ -2,10 +2,13 @@ package harness
 
 import (
 	"fmt"
+	"strings"
 
 	"c4/internal/accl"
 	"c4/internal/metrics"
+	"c4/internal/scenario"
 	"c4/internal/sim"
+	"c4/internal/topo"
 )
 
 // BenchConfig describes one "nccltest"-style collective benchmark: a ring
@@ -69,3 +72,80 @@ func (b *Bench) Stop() { b.stop = true }
 
 // MeanBusGbps is the benchmark's average bus bandwidth.
 func (b *Bench) MeanBusGbps() float64 { return b.Series.Mean() }
+
+// NCCLTestSpec parameterizes the standalone nccltest scenario: the
+// simulated equivalent of one NVIDIA nccl-tests invocation.
+type NCCLTestSpec struct {
+	Nodes      int
+	Spines     int
+	MiB        float64
+	Iters      int
+	Kind       ProviderKind
+	QPsPerConn int
+}
+
+// DefaultNCCLTest is the 8-node C4P configuration the paper's
+// microbenchmarks run at.
+func DefaultNCCLTest() NCCLTestSpec {
+	return NCCLTestSpec{Nodes: 8, Spines: 8, MiB: 512, Iters: 8, Kind: C4PStatic, QPsPerConn: 2}
+}
+
+// NCCLTestResult is the per-iteration busbw log of one benchmark run.
+type NCCLTestResult struct {
+	Spec   NCCLTestSpec
+	GPUs   int
+	Series *metrics.Series
+}
+
+// RunNCCLTest executes one benchmark configuration.
+func RunNCCLTest(seed int64, spec NCCLTestSpec) NCCLTestResult {
+	return runNCCLTest(scenario.NewCtx(seed), spec)
+}
+
+func runNCCLTest(ctx *scenario.Ctx, spec NCCLTestSpec) NCCLTestResult {
+	fab := topo.MultiJobTestbed(spec.Spines)
+	if spec.Nodes > fab.Nodes {
+		panic(fmt.Sprintf("at most %d nodes on this testbed, got %d", fab.Nodes, spec.Nodes))
+	}
+	e := newEnv(ctx, fab)
+	b, err := StartBench(e, BenchConfig{
+		Nodes: interleavedNodes(spec.Nodes), Bytes: spec.MiB * (1 << 20), Iters: spec.Iters,
+		Provider: e.NewProvider(spec.Kind, ctx.Seed), QPsPerConn: spec.QPsPerConn,
+		Adaptive: spec.Kind == C4PDynamic, Seed: ctx.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	e.Eng.Run()
+	return NCCLTestResult{Spec: spec, GPUs: spec.Nodes * fab.GPUsPerNode, Series: b.Series}
+}
+
+// MeanBusGbps is the run's average bus bandwidth.
+func (r NCCLTestResult) MeanBusGbps() float64 { return r.Series.Mean() }
+
+// String renders the nccl-tests-style iteration log.
+func (r NCCLTestResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# nccltest (simulated) — allreduce, ring, %d nodes (%d GPUs), %v, %.0f MiB\n",
+		r.Spec.Nodes, r.GPUs, r.Spec.Kind, r.Spec.MiB)
+	fmt.Fprintf(&sb, "%-6s %-12s %-12s\n", "iter", "t(s)", "busbw(Gbps)")
+	for i, s := range r.Series.Samples {
+		fmt.Fprintf(&sb, "%-6d %-12.3f %-12.1f\n", i, s.T, s.V)
+	}
+	fmt.Fprintf(&sb, "# mean busbw: %.1f Gbps\n", r.MeanBusGbps())
+	return sb.String()
+}
+
+// CheckShape validates that the run completed every iteration and, for the
+// planned C4P configurations, that busbw sits near the NVLink-bounded peak.
+func (r NCCLTestResult) CheckShape() error {
+	if r.Series.Len() != r.Spec.Iters {
+		return fmt.Errorf("nccltest: %d iterations completed, want %d", r.Series.Len(), r.Spec.Iters)
+	}
+	if r.Spec.Kind != Baseline && r.Spec.Spines >= 8 {
+		if m := r.MeanBusGbps(); m < 330 || m > 370 {
+			return fmt.Errorf("nccltest: C4P busbw %.1f Gbps, want ≈360", m)
+		}
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"c4/internal/c4d"
 	"c4/internal/cluster"
 	"c4/internal/job"
+	"c4/internal/scenario"
 	"c4/internal/sim"
 	"c4/internal/steering"
 	"c4/internal/topo"
@@ -35,10 +36,13 @@ type PipelineResult struct {
 
 // RunPipeline injects one crash into a 16-node job and drives the live
 // C4D -> steering -> restart loop to completion.
-func RunPipeline(seed int64) PipelineResult {
+func RunPipeline(seed int64) PipelineResult { return runPipeline(scenario.NewCtx(seed)) }
+
+func runPipeline(ctx *scenario.Ctx) PipelineResult {
+	seed := ctx.Seed
 	spec := topo.MultiJobTestbed(8)
 	spec.Nodes = 24 // 16 primaries + 8 backups, the paper's spare ratio
-	e := NewEnv(spec)
+	e := newEnv(ctx, spec)
 	cl := cluster.NewCluster(16, 8, 8)
 
 	master := c4d.NewMaster(c4d.Config{})

@@ -7,6 +7,7 @@ import (
 
 	"c4/internal/cluster"
 	"c4/internal/metrics"
+	"c4/internal/scenario"
 	"c4/internal/sim"
 	"c4/internal/steering"
 )
@@ -20,8 +21,10 @@ type TableIResult struct {
 
 // RunTableI samples a year of the fault process (12 months shrinks
 // Monte-Carlo noise; proportions are month-invariant).
-func RunTableI(seed int64) TableIResult {
-	return TableIResult{steering.SimulateCrashCauses(sim.NewRand(seed), 512, 12*30*sim.Day)}
+func RunTableI(seed int64) TableIResult { return runTableI(scenario.NewCtx(seed)) }
+
+func runTableI(ctx *scenario.Ctx) TableIResult {
+	return TableIResult{steering.SimulateCrashCauses(sim.NewRand(ctx.Seed), 512, 12*30*sim.Day)}
 }
 
 // String renders the paper's table.
@@ -83,7 +86,10 @@ type TableIIIResult struct {
 
 // RunTableIII Monte-Carlos both regimes, averaging across months to table
 // precision.
-func RunTableIII(seed int64) TableIIIResult {
+func RunTableIII(seed int64) TableIIIResult { return runTableIII(scenario.NewCtx(seed)) }
+
+func runTableIII(ctx *scenario.Ctx) TableIIIResult {
+	seed := ctx.Seed
 	avg := func(reg steering.Regime) steering.Breakdown {
 		const months = 12
 		agg := steering.Breakdown{Regime: reg.Name, Diagnosis: map[cluster.FaultKind]float64{}}

@@ -15,7 +15,6 @@ package netsim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"c4/internal/sim"
 	"c4/internal/topo"
@@ -61,15 +60,15 @@ type Flow struct {
 	// at rate zero until the link recovers.
 	OnPathDown func(*Flow)
 
-	sizeBits   float64
-	remaining  float64
-	rate       float64 // bits per second, current allocation
-	cnpRate    float64 // CNPs per second currently being received
-	started    sim.Time
-	admitted   bool
-	done       bool
-	completeEv *sim.Event
-	admitEv    *sim.Event
+	sizeBits  float64
+	remaining float64
+	rate      float64 // bits per second, current allocation
+	cnpRate   float64 // CNPs per second currently being received
+	started   sim.Time
+	admitted  bool
+	done      bool
+	frozen    bool // scratch flag used during max-min filling
+	admitEv   *sim.Event
 }
 
 // Rate reports the flow's current bandwidth allocation in bits/second.
@@ -98,22 +97,49 @@ type Network struct {
 	nextID  int
 	pending *sim.Event // scheduled recompute, nil if none
 
-	// carriedBits accumulates delivered bits per link for bandwidth
-	// sampling (Fig 13); cnpCount accumulates CNPs per physical source
-	// port (Fig 11).
-	carriedBits map[int]float64
-	cnpCount    map[*topo.Port]float64
+	// completeEv is the single next-completion event. Flows complete when
+	// their remaining bits reach zero at the scheduled instant; keeping one
+	// event for the whole network (instead of one per flow rescheduled on
+	// every rate change) keeps the engine's queue small and cheap.
+	completeEv *sim.Event
+	completed  []*Flow // scratch for collecting finished flows
+
+	// carriedBits accumulates delivered bits per link (indexed by link ID)
+	// for bandwidth sampling (Fig 13); cnpCount accumulates CNPs per
+	// physical source port, indexed by the port's up-link ID (Fig 11).
+	carriedBits []float64
+	cnpCount    []float64
 	lastSettle  sim.Time
+
+	// Scratch state reused across recompute calls. Link IDs are dense
+	// (indices into Topo.Links), so slice-indexed accumulators replace the
+	// per-call maps that otherwise dominate the simulator's CPU profile.
+	scCap     []float64 // remaining capacity during progressive filling
+	scCount   []int     // unfrozen flows on the link
+	scFlows   [][]*Flow // flows crossing the link
+	scSeen    []bool    // link appears in scTouched
+	scLoad    []float64 // aggregate allocated rate (CNP pass)
+	scLoadCnt []int     // allocated flows on the link (CNP pass)
+	scFactor  []float64 // CNP contention factor; 0 = not saturated
+	scTouched []int     // link IDs referenced by the current flow set
 }
 
 // New creates a simulator bound to an engine and fabric.
 func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Network {
+	nl := len(t.Links)
 	return &Network{
 		Engine:      eng,
 		Topo:        t,
 		Cfg:         cfg,
-		carriedBits: make(map[int]float64),
-		cnpCount:    make(map[*topo.Port]float64),
+		carriedBits: make([]float64, nl),
+		cnpCount:    make([]float64, nl),
+		scCap:       make([]float64, nl),
+		scCount:     make([]int, nl),
+		scFlows:     make([][]*Flow, nl),
+		scSeen:      make([]bool, nl),
+		scLoad:      make([]float64, nl),
+		scLoadCnt:   make([]int, nl),
+		scFactor:    make([]float64, nl),
 	}
 }
 
@@ -149,9 +175,6 @@ func (n *Network) Cancel(f *Flow) {
 	f.done = true
 	if f.admitEv != nil {
 		f.admitEv.Cancel()
-	}
-	if f.completeEv != nil {
-		f.completeEv.Cancel()
 	}
 	if f.admitted {
 		n.remove(f)
@@ -221,7 +244,7 @@ func (n *Network) CarriedBits(l *topo.Link) float64 {
 // sender behind the given physical port.
 func (n *Network) CNPCount(p *topo.Port) float64 {
 	n.settle()
-	return n.cnpCount[p]
+	return n.cnpCount[p.Up.ID]
 }
 
 // FlowsOn reports how many active flows traverse the link.
@@ -292,25 +315,22 @@ func (n *Network) settle() {
 			n.carriedBits[l.ID] += delta
 		}
 		if f.cnpRate > 0 && f.Path.SrcPort != nil {
-			n.cnpCount[f.Path.SrcPort] += f.cnpRate * dt
+			n.cnpCount[f.Path.SrcPort.Up.ID] += f.cnpRate * dt
 		}
 	}
 }
 
 // recompute performs max-min fair allocation (progressive filling) across
-// all admitted flows and reschedules completion events.
+// all admitted flows and reschedules completion events. All bookkeeping
+// lives in slice-indexed scratch buffers reused across calls: this routine
+// runs once per flow-set change and dominates the simulator's CPU profile,
+// so it must not hash or allocate per link.
 func (n *Network) recompute() {
 	n.settle()
 	n.pending = nil
 
-	type linkState struct {
-		cap   float64
-		count int
-		flows []*Flow
-	}
-	links := make(map[int]*linkState)
-	frozen := make(map[*Flow]bool, len(n.flows))
-
+	n.scTouched = n.scTouched[:0]
+	unfrozen := 0
 	for _, f := range n.flows {
 		f.rate = 0
 		alive := true
@@ -321,42 +341,37 @@ func (n *Network) recompute() {
 			}
 		}
 		if !alive {
-			frozen[f] = true // stalled at rate 0
+			f.frozen = true // stalled at rate 0
 			continue
 		}
+		f.frozen = false
+		unfrozen++
 		for _, l := range f.Path.Links {
-			ls := links[l.ID]
-			if ls == nil {
-				ls = &linkState{cap: l.Gbps * Gbps}
-				links[l.ID] = ls
+			if !n.scSeen[l.ID] {
+				n.scSeen[l.ID] = true
+				n.scCap[l.ID] = l.Gbps * Gbps
+				n.scCount[l.ID] = 0
+				n.scFlows[l.ID] = n.scFlows[l.ID][:0]
+				n.scTouched = append(n.scTouched, l.ID)
 			}
-			ls.count++
-			ls.flows = append(ls.flows, f)
+			n.scCount[l.ID]++
+			n.scFlows[l.ID] = append(n.scFlows[l.ID], f)
 		}
 	}
 
-	// Deterministic order over links for bottleneck scanning.
-	linkIDs := make([]int, 0, len(links))
-	for id := range links {
-		linkIDs = append(linkIDs, id)
-	}
-	sort.Ints(linkIDs)
-
-	unfrozen := 0
-	for _, f := range n.flows {
-		if !frozen[f] {
-			unfrozen++
-		}
-	}
+	// Bottleneck scanning must visit links in a deterministic order; link
+	// IDs are dense indices, so walking the whole ID space ascending and
+	// skipping untouched entries is both ordered and cheaper than sorting
+	// the touched list on every recompute.
+	nl := len(n.scSeen)
 	for unfrozen > 0 {
 		// Find the tightest link.
 		best := math.Inf(1)
-		for _, id := range linkIDs {
-			ls := links[id]
-			if ls.count <= 0 {
+		for id := 0; id < nl; id++ {
+			if !n.scSeen[id] || n.scCount[id] <= 0 {
 				continue
 			}
-			share := ls.cap / float64(ls.count)
+			share := n.scCap[id] / float64(n.scCount[id])
 			if share < best {
 				best = share
 			}
@@ -366,30 +381,28 @@ func (n *Network) recompute() {
 		}
 		// Freeze every unfrozen flow on links at the bottleneck share.
 		progressed := false
-		for _, id := range linkIDs {
-			ls := links[id]
-			if ls.count <= 0 {
+		for id := 0; id < nl; id++ {
+			if !n.scSeen[id] || n.scCount[id] <= 0 {
 				continue
 			}
-			share := ls.cap / float64(ls.count)
+			share := n.scCap[id] / float64(n.scCount[id])
 			if share > best*(1+rateEpsilon) {
 				continue
 			}
-			for _, f := range ls.flows {
-				if frozen[f] {
+			for _, f := range n.scFlows[id] {
+				if f.frozen {
 					continue
 				}
 				f.rate = best
-				frozen[f] = true
+				f.frozen = true
 				unfrozen--
 				progressed = true
 				for _, l := range f.Path.Links {
-					fls := links[l.ID]
-					fls.cap -= best
-					if fls.cap < 0 {
-						fls.cap = 0
+					n.scCap[l.ID] -= best
+					if n.scCap[l.ID] < 0 {
+						n.scCap[l.ID] = 0
 					}
-					fls.count--
+					n.scCount[l.ID]--
 				}
 			}
 		}
@@ -401,60 +414,66 @@ func (n *Network) recompute() {
 	// CNP rates: saturated links with contention emit notifications toward
 	// every sender crossing them. A single flow at line rate builds no
 	// queue in the fluid model, so saturation requires ≥2 competing flows.
-	type load struct {
-		total float64
-		count int
+	for _, id := range n.scTouched {
+		n.scLoad[id] = 0
+		n.scLoadCnt[id] = 0
 	}
-	loads := make(map[int]*load)
 	for _, f := range n.flows {
 		if f.rate <= 0 {
 			continue
 		}
 		for _, l := range f.Path.Links {
-			ld := loads[l.ID]
-			if ld == nil {
-				ld = &load{}
-				loads[l.ID] = ld
-			}
-			ld.total += f.rate
-			ld.count++
+			n.scLoad[l.ID] += f.rate
+			n.scLoadCnt[l.ID]++
 		}
 	}
-	saturated := make(map[int]float64) // linkID -> contention factor
-	for id, ld := range loads {
+	for _, id := range n.scTouched {
+		n.scFactor[id] = 0
 		capBits := n.linkCap(id)
-		if ld.count >= 2 && capBits > 0 && ld.total >= capBits*(1-1e-6) {
-			saturated[id] = float64(ld.count-1) / float64(ld.count)
+		if n.scLoadCnt[id] >= 2 && capBits > 0 && n.scLoad[id] >= capBits*(1-1e-6) {
+			n.scFactor[id] = float64(n.scLoadCnt[id]-1) / float64(n.scLoadCnt[id])
 		}
 	}
 	for _, f := range n.flows {
 		f.cnpRate = 0
 		for _, l := range f.Path.Links {
-			if factor, ok := saturated[l.ID]; ok {
+			if factor := n.scFactor[l.ID]; factor > 0 {
 				f.cnpRate += n.Cfg.CNPPerSecond * factor
 			}
 		}
 	}
+	// Restore the between-calls invariant: scSeen and scFactor all zero, so
+	// links untouched by the next flow set read as absent, not stale.
+	for _, id := range n.scTouched {
+		n.scSeen[id] = false
+		n.scFactor[id] = 0
+	}
 
-	// Reschedule completions.
+	// Reschedule the next completion: the earliest ETA across all moving
+	// flows. Round up by 1 ns: FromSeconds truncates, and an ETA that
+	// lands a sub-nanosecond early would re-fire at the same instant with
+	// zero progress. Overshoot is harmless — settle clamps delivery to the
+	// remaining bits, so at the scheduled instant the finishing flows sit
+	// at exactly zero remaining.
+	minEta := sim.MaxTime
 	for _, f := range n.flows {
-		if f.completeEv != nil {
-			f.completeEv.Cancel()
-			f.completeEv = nil
-		}
 		if f.rate <= 0 {
 			continue
 		}
-		// Round up by 1 ns: FromSeconds truncates, and an ETA that lands
-		// a sub-nanosecond early would re-fire at the same instant with
-		// zero progress. Overshoot is harmless — settle clamps delivery
-		// to the remaining bits.
 		eta := sim.FromSeconds(f.remaining/f.rate) + 1
 		if eta < 1 {
 			eta = 1
 		}
-		ff := f
-		f.completeEv = n.Engine.After(eta, func() { n.complete(ff) })
+		if eta < minEta {
+			minEta = eta
+		}
+	}
+	if n.completeEv != nil {
+		n.completeEv.Cancel()
+		n.completeEv = nil
+	}
+	if minEta < sim.MaxTime {
+		n.completeEv = n.Engine.After(minEta, n.completions)
 	}
 }
 
@@ -462,22 +481,34 @@ func (n *Network) linkCap(id int) float64 {
 	return n.Topo.Links[id].Gbps * Gbps
 }
 
-func (n *Network) complete(f *Flow) {
-	if f.done {
-		return
-	}
+// completions fires at the earliest completion ETA: it settles flows to
+// the current instant and finishes every flow that has no bits left. Flows
+// whose rate changed since the ETA was computed simply are not at zero yet;
+// the recompute scheduled here re-arms the event for them.
+func (n *Network) completions() {
+	n.completeEv = nil
 	n.settle()
-	if f.remaining > f.sizeBits*1e-9+1 {
-		// Rate changed since scheduling; recompute will reschedule.
-		n.invalidate()
-		return
+	n.completed = n.completed[:0]
+	for _, f := range n.flows {
+		if f.remaining <= 0 {
+			n.completed = append(n.completed, f)
+		}
 	}
-	f.remaining = 0
-	f.done = true
-	n.remove(f)
 	n.invalidate()
-	if f.OnComplete != nil {
-		f.OnComplete(f)
+	// Finish flows one at a time, callback included, exactly as the old
+	// per-flow completion events did: an OnComplete handler may Cancel a
+	// same-instant batchmate, and that flow must then neither complete nor
+	// see its callback fire.
+	for _, f := range n.completed {
+		if f.done {
+			continue // cancelled by an earlier handler in this batch
+		}
+		f.remaining = 0
+		f.done = true
+		n.remove(f)
+		if f.OnComplete != nil {
+			f.OnComplete(f)
+		}
 	}
 }
 

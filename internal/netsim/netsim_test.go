@@ -338,3 +338,36 @@ func TestConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCancelFromOnCompleteSuppressesBatchmate(t *testing.T) {
+	eng, n := testbed()
+	// Two identical flows complete at the same instant; the first flow's
+	// completion handler cancels the second. The cancelled flow must not
+	// have its own OnComplete invoked — the contract per-flow completion
+	// events used to give, preserved by the batched completion event.
+	path, err := n.Topo.PathFor(0, 2, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second *Flow
+	secondFired := false
+	firstFired := false
+	first := n.StartFlow(path, 1e9, "first", func(*Flow) {
+		firstFired = true
+		n.Cancel(second)
+	})
+	second = n.StartFlow(path, 1e9, "second", func(*Flow) { secondFired = true })
+	eng.Run()
+	if !firstFired {
+		t.Fatal("first flow never completed")
+	}
+	if !first.Done() || !second.Done() {
+		t.Fatal("both flows should be done (one completed, one cancelled)")
+	}
+	if secondFired {
+		t.Fatal("cancelled flow's OnComplete fired")
+	}
+	if n.ActiveFlows() != 0 {
+		t.Fatalf("active flows = %d, want 0", n.ActiveFlows())
+	}
+}

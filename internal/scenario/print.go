@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FprintList writes the one-line-per-scenario enumeration shared by the
+// CLIs' -list flags: grouped, alphabetical, slow sweeps marked.
+func FprintList(w io.Writer, scns []Scenario) {
+	sorted := append([]Scenario(nil), scns...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Group != sorted[j].Group {
+			return sorted[i].Group < sorted[j].Group
+		}
+		return sorted[i].Name < sorted[j].Name
+	})
+	for _, s := range sorted {
+		slow := ""
+		if s.Slow {
+			slow = " [slow]"
+		}
+		fmt.Fprintf(w, "%-16s %-9s %s%s\n", s.Name, s.Group, s.Description, slow)
+	}
+}
+
+// FprintReport writes one scenario outcome — rendering plus shape verdict
+// and execution stats — and reports whether it counts as a failure.
+func FprintReport(w io.Writer, rep Report) (failed bool) {
+	fmt.Fprintf(w, "=== %s (seed %d, %v, %d events)\n",
+		rep.Name, rep.Seed, rep.Wall.Round(1e6), rep.Events)
+	switch {
+	case rep.Err != nil:
+		fmt.Fprintf(w, "run failed: %v\n", rep.Err)
+		return true
+	case rep.ShapeErr != nil:
+		fmt.Fprintln(w, rep.Result)
+		fmt.Fprintf(w, "shape check FAILED: %v\n", rep.ShapeErr)
+		return true
+	default:
+		fmt.Fprintln(w, rep.Result)
+		fmt.Fprintln(w, "shape check: OK")
+		return false
+	}
+}

@@ -1,0 +1,99 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]Scenario{}
+	regOrder []string
+)
+
+// Register adds a scenario to the global registry. It panics on an empty
+// name, a nil Run, or a duplicate name: registration happens in package
+// init functions, where a bad entry is a programming error.
+func Register(s Scenario) {
+	if s.Name == "" {
+		panic("scenario: Register with empty name")
+	}
+	if s.Run == nil {
+		panic(fmt.Sprintf("scenario: Register(%q) with nil Run", s.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", s.Name))
+	}
+	registry[s.Name] = s
+	regOrder = append(regOrder, s.Name)
+}
+
+// Get returns the scenario registered under name.
+func Get(name string) (Scenario, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all registered names in registration order.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return append([]string(nil), regOrder...)
+}
+
+// All returns every registered scenario in registration order.
+func All() []Scenario {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Scenario, 0, len(regOrder))
+	for _, name := range regOrder {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// Select resolves a comma-separated selection into scenarios. Each term
+// is an exact name, a "prefix*" glob, or "all"; terms accumulate in
+// registration order without duplicates. Unknown terms are an error that
+// lists the available names.
+func Select(selection string) ([]Scenario, error) {
+	terms := strings.Split(selection, ",")
+	want := map[string]bool{}
+	for _, term := range terms {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		matched := false
+		for _, name := range Names() {
+			switch {
+			case term == "all", term == name,
+				strings.HasSuffix(term, "*") && strings.HasPrefix(name, strings.TrimSuffix(term, "*")):
+				want[name] = true
+				matched = true
+			}
+		}
+		if !matched {
+			sorted := Names()
+			sort.Strings(sorted)
+			return nil, fmt.Errorf("scenario: no scenario matches %q (have: %s)",
+				term, strings.Join(sorted, ", "))
+		}
+	}
+	var out []Scenario
+	for _, s := range All() {
+		if want[s.Name] {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: empty selection %q", selection)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Report is the outcome of one scenario execution.
+type Report struct {
+	Name   string
+	Seed   int64
+	Result Result // nil when Err is set
+	// Err is a panic converted to an error; shape-check failures are
+	// reported separately so a failed claim still yields its rendering.
+	Err error
+	// ShapeErr is the Result's CheckShape verdict (nil = claim holds).
+	ShapeErr error
+	// Wall is host time spent executing the scenario.
+	Wall time.Duration
+	// Events is the number of simulation events fired across every engine
+	// the scenario built.
+	Events uint64
+}
+
+// Runner executes a set of scenarios on a bounded worker pool. Each
+// scenario runs on its own goroutine with its own Ctx (seed, engines,
+// RNGs), so execution order and concurrency cannot affect results: a
+// Runner with Workers=N produces byte-identical Reports to Workers=1.
+type Runner struct {
+	// Workers bounds concurrent scenario executions; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes every scenario with the given root seed and returns one
+// report per scenario, in input order. Panics inside a scenario are
+// captured into the report rather than killing sibling workers.
+func (r *Runner) Run(seed int64, scns []Scenario) []Report {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scns) {
+		workers = len(scns)
+	}
+	reports := make([]Report, len(scns))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				reports[i] = RunOne(scns[i], seed)
+			}
+		}()
+	}
+	for i := range scns {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return reports
+}
+
+// RunOne executes a single scenario with the given seed, capturing wall
+// time, event counts, panics and the shape-check verdict. Both Run and
+// CheckShape are scenario-author code, so both execute under the panic
+// guard; a Run that returns nil without panicking is reported as an error
+// rather than a silent success.
+func RunOne(s Scenario, seed int64) Report {
+	rep := Report{Name: s.Name, Seed: seed}
+	ctx := NewCtx(seed)
+	start := time.Now()
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				rep.Err = fmt.Errorf("scenario %s panicked: %v", s.Name, p)
+			}
+		}()
+		rep.Result = s.Run(ctx)
+		if rep.Result == nil {
+			rep.Err = fmt.Errorf("scenario %s returned no result", s.Name)
+			return
+		}
+		rep.ShapeErr = rep.Result.CheckShape()
+	}()
+	rep.Wall = time.Since(start)
+	rep.Events = ctx.Events()
+	return rep
+}

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"c4/internal/sim"
+)
+
+// fakeResult is a minimal Result for runner/registry tests.
+type fakeResult struct {
+	text  string
+	shape error
+}
+
+func (f fakeResult) String() string    { return f.text }
+func (f fakeResult) CheckShape() error { return f.shape }
+
+// fake builds a deterministic scenario whose output depends only on the
+// seed, mimicking how real scenarios derive everything from the Ctx.
+func fake(name string) Scenario {
+	return Scenario{
+		Name: name, Group: "test", Description: "fake", Paper: "n/a",
+		Run: func(c *Ctx) Result {
+			r := sim.NewRand(c.Seed)
+			eng := sim.NewEngine()
+			c.Track(eng)
+			total := 0.0
+			for i := 0; i < 10; i++ {
+				i := i
+				eng.Schedule(sim.Time(i), func() { total += r.Float64() })
+			}
+			eng.Run()
+			return fakeResult{text: fmt.Sprintf("%s: %.12f", name, total)}
+		},
+		Summarize: func(r Result) string { return r.String() },
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic := func(s Scenario, why string) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register should panic: %s", why)
+			}
+		}()
+		Register(s)
+	}
+	mustPanic(Scenario{}, "empty name")
+	mustPanic(Scenario{Name: "x"}, "nil Run")
+	ok := fake("register-validation-ok")
+	registerOnce(ok)
+	mustPanic(ok, "duplicate name")
+	if _, found := Get("register-validation-ok"); !found {
+		t.Fatal("registered scenario not retrievable")
+	}
+}
+
+// registerOnce tolerates test-binary reruns in one process (-count=N):
+// the registry is process-global, so a second run would otherwise hit the
+// duplicate-name panic.
+func registerOnce(s Scenario) {
+	if _, dup := Get(s.Name); !dup {
+		Register(s)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	registerOnce(fake("select-a"))
+	registerOnce(fake("select-b"))
+	registerOnce(fake("other-c"))
+
+	got, err := Select("select-b,select-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registration order, not selection order.
+	if len(got) != 2 || got[0].Name != "select-a" || got[1].Name != "select-b" {
+		t.Fatalf("Select = %v", names(got))
+	}
+
+	got, err = Select("select-*")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("glob Select = %v, %v", names(got), err)
+	}
+
+	if all, err := Select("all"); err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(all) = %d scenarios, want %d (%v)", len(all), len(All()), err)
+	}
+
+	if _, err := Select("definitely-missing"); err == nil ||
+		!strings.Contains(err.Error(), "definitely-missing") {
+		t.Fatalf("unknown selection error = %v", err)
+	}
+}
+
+func TestRunnerParallelMatchesSerial(t *testing.T) {
+	scns := []Scenario{}
+	for i := 0; i < 12; i++ {
+		scns = append(scns, fake(fmt.Sprintf("runner-fake-%d", i)))
+	}
+	serial := (&Runner{Workers: 1}).Run(42, scns)
+	parallel := (&Runner{Workers: 8}).Run(42, scns)
+	for i := range scns {
+		if serial[i].Name != scns[i].Name {
+			t.Fatalf("report %d out of order: %s", i, serial[i].Name)
+		}
+		if serial[i].Result.String() != parallel[i].Result.String() {
+			t.Fatalf("%s: parallel diverged from serial", scns[i].Name)
+		}
+		if serial[i].Events != 10 || parallel[i].Events != 10 {
+			t.Fatalf("%s: events = %d/%d, want 10", scns[i].Name, serial[i].Events, parallel[i].Events)
+		}
+	}
+}
+
+func TestRunnerCapturesPanics(t *testing.T) {
+	var survivors atomic.Int32
+	scns := []Scenario{
+		{Name: "panics", Run: func(*Ctx) Result { panic("boom") }},
+		{Name: "survives", Run: func(*Ctx) Result {
+			survivors.Add(1)
+			return fakeResult{text: "ok"}
+		}},
+		{Name: "bad-shape", Run: func(*Ctx) Result {
+			return fakeResult{text: "r", shape: fmt.Errorf("claim violated")}
+		}},
+	}
+	reps := (&Runner{Workers: 2}).Run(1, scns)
+	if reps[0].Err == nil || !strings.Contains(reps[0].Err.Error(), "boom") {
+		t.Fatalf("panic not captured: %v", reps[0].Err)
+	}
+	if reps[1].Err != nil || reps[1].ShapeErr != nil || survivors.Load() != 1 {
+		t.Fatalf("sibling scenario disturbed by panic: %+v", reps[1])
+	}
+	if reps[2].Err != nil || reps[2].ShapeErr == nil {
+		t.Fatalf("shape failure must be reported separately: %+v", reps[2])
+	}
+	if reps[2].Result == nil {
+		t.Fatal("failed shape check must still deliver the rendering")
+	}
+}
+
+type panicShapeResult struct{}
+
+func (panicShapeResult) String() string    { return "r" }
+func (panicShapeResult) CheckShape() error { panic("shape blew up") }
+
+func TestRunOneGuardsAuthorCode(t *testing.T) {
+	// CheckShape is scenario-author code too: a panic there must land in
+	// the report, not kill the worker pool.
+	rep := RunOne(Scenario{
+		Name: "panic-shape",
+		Run:  func(*Ctx) Result { return panicShapeResult{} },
+	}, 1)
+	if rep.Err == nil || !strings.Contains(rep.Err.Error(), "shape blew up") {
+		t.Fatalf("CheckShape panic not captured: %v", rep.Err)
+	}
+
+	// A nil Result without a panic is a broken scenario, not a success.
+	rep = RunOne(Scenario{
+		Name: "nil-result",
+		Run:  func(*Ctx) Result { return nil },
+	}, 1)
+	if rep.Err == nil || !strings.Contains(rep.Err.Error(), "no result") {
+		t.Fatalf("nil result not reported as an error: %+v", rep)
+	}
+}
+
+func TestCtxEventAccounting(t *testing.T) {
+	ctx := NewCtx(5)
+	if ctx.Seed != 5 {
+		t.Fatalf("seed = %d", ctx.Seed)
+	}
+	if ctx.Events() != 0 {
+		t.Fatal("fresh ctx should count zero events")
+	}
+	a, b := sim.NewEngine(), sim.NewEngine()
+	ctx.Track(a)
+	ctx.Track(b)
+	a.Schedule(1, func() {})
+	a.Schedule(2, func() {})
+	b.Schedule(1, func() {})
+	a.Run()
+	b.Run()
+	if ctx.Events() != 3 {
+		t.Fatalf("events = %d, want 3 across engines", ctx.Events())
+	}
+}
+
+func names(scns []Scenario) []string {
+	out := make([]string, len(scns))
+	for i, s := range scns {
+		out[i] = s.Name
+	}
+	return out
+}

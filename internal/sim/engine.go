@@ -105,6 +105,7 @@ type Engine struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	ids     map[string]int
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -114,6 +115,19 @@ func NewEngine() *Engine {
 
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
+
+// NextID returns the next identifier in the named sequence, starting at 1.
+// Model components allocate their identifiers (communicator IDs, queue-pair
+// numbers) here rather than from package globals, so IDs are stable per
+// simulation regardless of what else ran in the process — a requirement for
+// deterministic replay — and race-free when simulations run concurrently.
+func (e *Engine) NextID(seq string) int {
+	if e.ids == nil {
+		e.ids = make(map[string]int)
+	}
+	e.ids[seq]++
+	return e.ids[seq]
+}
 
 // Fired reports how many events have executed so far. Useful for tests and
 // for detecting runaway simulations.

@@ -132,6 +132,113 @@ func TestNextEventAt(t *testing.T) {
 	}
 }
 
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	head := e.Schedule(10, func() { fired = append(fired, 1) })
+	e.Schedule(20, func() { fired = append(fired, 2) })
+	head.Cancel()
+	e.RunUntil(30)
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired = %v, want only the live event", fired)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("now = %v, want 30 (clock advances past cancelled head)", e.Now())
+	}
+}
+
+func TestNextEventAtDiscardsCancelledRun(t *testing.T) {
+	e := NewEngine()
+	// A stack of cancelled events at the head must all be skipped without
+	// firing, exposing the first live timestamp behind them.
+	for i := Time(1); i <= 5; i++ {
+		e.Schedule(i, func() {}).Cancel()
+	}
+	live := e.Schedule(9, func() {})
+	if at := e.NextEventAt(); at != 9 {
+		t.Fatalf("next = %v, want 9", at)
+	}
+	live.Cancel()
+	if at := e.NextEventAt(); at != MaxTime {
+		t.Fatalf("next = %v, want MaxTime after cancelling all", at)
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("peeking fired %d events", e.Fired())
+	}
+}
+
+func TestSchedulePastPanicsDirectly(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run() // clock now at 10
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling before now")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestFiredAndPendingAccounting(t *testing.T) {
+	e := NewEngine()
+	evs := make([]*Event, 4)
+	for i := range evs {
+		evs[i] = e.Schedule(Time(i+1)*10, func() {})
+	}
+	if e.Pending() != 4 {
+		t.Fatalf("pending = %d, want 4", e.Pending())
+	}
+	evs[1].Cancel()
+	// A cancelled event stays queued (lazily discarded), so Pending still
+	// counts it until the run loop or a peek pops it.
+	if e.Pending() != 4 {
+		t.Fatalf("pending after cancel = %d, want 4 (lazy discard)", e.Pending())
+	}
+	e.Run()
+	if e.Fired() != 3 {
+		t.Fatalf("fired = %d, want 3 (cancelled event must not count)", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending after run = %d, want 0", e.Pending())
+	}
+	if !evs[1].Cancelled() {
+		t.Fatal("cancelled flag lost")
+	}
+}
+
+func TestRunForAdvancesEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(5 * Second)
+	if e.Now() != 5*Second {
+		t.Fatalf("now = %v, want 5s with an empty queue", e.Now())
+	}
+	count := 0
+	e.Schedule(7*Second, func() { count++ })
+	e.RunFor(1 * Second) // to 6s: nothing fires
+	if count != 0 || e.Now() != 6*Second {
+		t.Fatalf("count=%d now=%v, want 0 at 6s", count, e.Now())
+	}
+	e.RunFor(10 * Second) // past the event and beyond the queue
+	if count != 1 || e.Now() != 16*Second {
+		t.Fatalf("count=%d now=%v, want 1 at 16s", count, e.Now())
+	}
+}
+
+func TestNextIDSequences(t *testing.T) {
+	e := NewEngine()
+	if e.NextID("comm") != 1 || e.NextID("comm") != 2 {
+		t.Fatal("sequence not monotonically increasing from 1")
+	}
+	if e.NextID("qpn") != 1 {
+		t.Fatal("sequences must be independent per name")
+	}
+	// A fresh engine restarts every sequence: identifiers are simulation-
+	// scoped, never process-scoped.
+	if NewEngine().NextID("comm") != 1 {
+		t.Fatal("new engine must restart sequences")
+	}
+}
+
 func TestTimeConversions(t *testing.T) {
 	if FromSeconds(1.5) != 1500*Millisecond {
 		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
