@@ -1,11 +1,15 @@
 # Tier-1 verification plus the race-enabled CI loop for the C4
-# reproduction. `make ci` is the one-command gate: vet + build + the full
-# test suite, then the short suite again under the race detector (which
-# also proves the parallel scenario runner shares no state).
+# reproduction. `make ci` is the one-command gate: gofmt + vet + build +
+# the full test suite, then the short suite again under the race detector
+# (which also proves the parallel scenario and campaign runners share no
+# state). The GitHub workflow (.github/workflows/ci.yml) runs the same
+# targets plus the bench-regression guard and a coverage report.
 
 GO ?= go
+SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet test test-race ci bench experiments clean
+.PHONY: all build vet fmt-check test test-race ci bench experiments \
+	bench-json bench-baseline bench-check cover clean
 
 all: ci
 
@@ -14,6 +18,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fast formatting gate: fails listing any file gofmt would rewrite.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 # Full tier-1 suite: every scenario's shape check plus the byte-identical
 # serial-vs-parallel replay comparison.
@@ -25,7 +34,7 @@ test:
 test-race:
 	$(GO) test -race -short ./...
 
-ci: vet build test test-race
+ci: fmt-check vet build test test-race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
@@ -34,5 +43,26 @@ bench:
 experiments:
 	$(GO) run ./cmd/c4bench -md > EXPERIMENTS.md
 
+# Bench-regression guard. Every tracked scenario metric is deterministic,
+# so the committed baseline (bench/baseline.json) pins behavior; benchdiff
+# fails on >5% drift. Regenerate the baseline when a change is intended.
+bench-json:
+	$(GO) run ./cmd/c4bench -json > BENCH_$(SHA).json
+	@echo wrote BENCH_$(SHA).json
+
+bench-baseline:
+	$(GO) run ./cmd/c4bench -json > bench/baseline.json
+
+bench-check:
+	$(GO) run ./cmd/c4bench -json > BENCH_current.json
+	$(GO) run ./cmd/benchdiff -tol 0.05 bench/baseline.json BENCH_current.json
+
+# Coverage profile plus per-package and total summaries (non-blocking in
+# CI: informational, not a gate).
+cover:
+	$(GO) test -short -covermode=atomic -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -n 1
+
 clean:
 	$(GO) clean ./...
+	rm -f cover.out BENCH_*.json

@@ -1,0 +1,63 @@
+// Command benchdiff is the bench-regression guard: it compares a freshly
+// generated `c4bench -json` report against the committed baseline and
+// fails (exit 1) when any tracked scenario metric or event count drifts
+// beyond tolerance. The simulator is seed-deterministic, so drift means a
+// behavioral change — regenerate the baseline (`make bench-baseline`) when
+// the change is intended.
+//
+// Usage:
+//
+//	benchdiff [-tol 0.05] bench/baseline.json current.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"c4/internal/metrics"
+)
+
+func main() {
+	tol := flag.Float64("tol", 0.05, "allowed relative drift per metric (0.05 = 5%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol FRAC] baseline.json current.json")
+		os.Exit(2)
+	}
+	os.Exit(run(flag.Arg(0), flag.Arg(1), *tol))
+}
+
+func run(basePath, curPath string, tol float64) int {
+	base, err := load(basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	diffs := metrics.DiffBenchReports(base, cur, tol)
+	if len(diffs) == 0 {
+		fmt.Printf("benchdiff: %d scenario(s) within %.0f%% of %s\n",
+			len(base.Scenarios), tol*100, basePath)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) against %s:\n", len(diffs), basePath)
+	for _, d := range diffs {
+		fmt.Fprintf(os.Stderr, "  %s\n", d)
+	}
+	fmt.Fprintln(os.Stderr, "intended change? regenerate the baseline with `make bench-baseline`")
+	return 1
+}
+
+func load(path string) (metrics.BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return metrics.BenchReport{}, err
+	}
+	defer f.Close()
+	return metrics.ReadBenchReport(f)
+}

@@ -9,7 +9,9 @@
 //	c4bench -list                # enumerate scenarios
 //	c4bench -only fig12,fig13    # a selection
 //	c4bench -only 'ablation-*'   # glob selection
+//	c4bench -campaign flap-sweep # fault-injection campaign sweeps
 //	c4bench -md > EXPERIMENTS.md # paper-vs-measured markdown table
+//	c4bench -json > baseline.json# bench-regression baseline (see benchdiff)
 package main
 
 import (
@@ -19,17 +21,21 @@ import (
 	"sort"
 	"strings"
 
-	_ "c4/internal/harness" // registers every scenario
+	"c4/internal/faults"
+	_ "c4/internal/harness" // registers every scenario and campaign
+	"c4/internal/metrics"
 	"c4/internal/scenario"
 )
 
 func main() {
 	var (
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		only    = flag.String("only", "all", "comma-separated scenario names (globs allowed)")
-		workers = flag.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
-		list    = flag.Bool("list", false, "list registered scenarios and exit")
-		md      = flag.Bool("md", false, "emit the EXPERIMENTS.md paper-vs-measured table")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		only     = flag.String("only", "all", "comma-separated scenario names (globs allowed)")
+		campaign = flag.String("campaign", "", "run fault-injection campaigns by short name (comma-separated, 'all' for every campaign)")
+		workers  = flag.Int("workers", 0, "concurrent scenarios (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list registered scenarios and exit")
+		md       = flag.Bool("md", false, "emit the EXPERIMENTS.md paper-vs-measured table")
+		jsonOut  = flag.Bool("json", false, "emit the bench-regression JSON report of every tracked scenario")
 	)
 	flag.Parse()
 
@@ -38,18 +44,43 @@ func main() {
 		return
 	}
 
-	scns, err := scenario.Select(*only)
+	selection := *only
+	if *campaign != "" {
+		if *only != "all" {
+			fmt.Fprintln(os.Stderr, "c4bench: -only and -campaign are mutually exclusive")
+			os.Exit(2)
+		}
+		selection = faults.CampaignSelection(*campaign)
+	}
+	scns, err := scenario.Select(selection)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c4bench: %v\n", err)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		// The bench guard tracks only scenarios with a metrics extractor.
+		var tracked []scenario.Scenario
+		for _, s := range scns {
+			if s.Metrics != nil {
+				tracked = append(tracked, s)
+			}
+		}
+		if len(tracked) == 0 {
+			fmt.Fprintf(os.Stderr, "c4bench: no tracked scenario in selection %q\n", selection)
+			os.Exit(2)
+		}
+		scns = tracked
 	}
 	runner := &scenario.Runner{Workers: *workers}
 	reports := runner.Run(*seed, scns)
 
 	failures := 0
-	if *md {
+	switch {
+	case *jsonOut:
+		failures = writeBenchJSON(os.Stdout, scns, reports, *seed)
+	case *md:
 		failures = writeMarkdown(os.Stdout, scns, reports, *seed)
-	} else {
+	default:
 		for _, rep := range reports {
 			fmt.Println("==============================================")
 			if scenario.FprintReport(os.Stdout, rep) {
@@ -61,6 +92,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c4bench: %d scenario(s) failed\n", failures)
 		os.Exit(1)
 	}
+}
+
+// writeBenchJSON emits the deterministic baseline the regression guard
+// compares against, returning how many scenarios failed outright.
+func writeBenchJSON(w *os.File, scns []scenario.Scenario, reports []scenario.Report, seed int64) int {
+	rep := metrics.BenchReport{Seed: seed}
+	failures := 0
+	for i, r := range reports {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "c4bench: %s: %v\n", r.Name, r.Err)
+			failures++
+			continue
+		}
+		if r.ShapeErr != nil {
+			fmt.Fprintf(os.Stderr, "c4bench: %s shape check: %v\n", r.Name, r.ShapeErr)
+			failures++
+		}
+		rep.Scenarios = append(rep.Scenarios, metrics.BenchScenario{
+			Name: r.Name, Events: r.Events, Metrics: scns[i].Metrics(r.Result),
+		})
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "c4bench: %v\n", err)
+		failures++
+	}
+	return failures
 }
 
 // writeMarkdown renders the paper-vs-measured table EXPERIMENTS.md holds,
@@ -118,7 +175,43 @@ func writeMarkdown(w *os.File, scns []scenario.Scenario, reports []scenario.Repo
 		fmt.Fprintf(w, "- `%s`: %s (%d events)\n",
 			s.Name, strings.Join(parts, ", "), reports[i].Events)
 	}
+	writeFaultModelDocs(w)
 	return failures
+}
+
+// writeFaultModelDocs documents the campaign engine's fault model and
+// knobs (internal/faults) in the generated experiments file.
+func writeFaultModelDocs(w *os.File) {
+	fmt.Fprintln(w, `
+## Fault model and campaign knobs
+
+The campaign/* scenarios sweep the parameterized fault model in
+internal/faults over topology scale and placement. Each trial runs its
+fault schedule twice — C4P dynamic steering + C4D-driven node replacement
+versus pinned routes with no fault response — and scores C4D diagnosis
+precision/recall against the injected ground truth, RCA top-cause accuracy,
+and the goodput delta steering buys.
+
+Fault archetypes (composable; overlapping faults on one component stack):
+
+- link-flap: one leaf uplink cable flaps. Severity = duty cycle (fraction
+  of each Period spent down); knobs: rail, plane, group, uplink, period.
+- nic-degrade: a node's NIC renegotiates down. Severity = capacity
+  fraction lost on every port link of (node, rail).
+- spine-outage: a whole spine switch dies; every leaf-up/spine-down link
+  touching (rail, spine) goes dark for the duration.
+- straggler: a node's compute slows by Severity seconds per iteration.
+- packet-drop: one leaf uplink silently drops a Severity fraction of
+  packets at full capacity — invisible to link-state monitors, visible
+  only in transport statistics.
+
+Trial knobs: job size (8/16/32 nodes, TP=8 per node), spine count (8 = 1:1
+fabric, 4 = 2:1 oversubscription), placement (spread = every ring edge
+crosses the spines; packed = one leaf group, fabric-fault immune), fault
+start/duration, and per-kind severity. Campaign results aggregate into
+this table via the campaign/* rows above; machine-readable reports come
+from `+"`c4sim -campaign <name> -campaign-json DIR`"+` and the bench
+baseline from `+"`c4bench -json`"+`.`)
 }
 
 func escape(s string) string {

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"c4/internal/metrics"
+	"c4/internal/scenario"
+)
+
+// runTracked runs a cheap tracked scenario through the registry runner,
+// shared by the JSON and markdown smoke tests.
+func runTracked(t *testing.T, name string) ([]scenario.Scenario, []scenario.Report) {
+	t.Helper()
+	scns, err := scenario.Select(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scns, (&scenario.Runner{Workers: 1}).Run(1, scns)
+}
+
+func TestWriteBenchJSON(t *testing.T) {
+	scns, reports := runTracked(t, "tableI,nccltest")
+	path := filepath.Join(t.TempDir(), "bench.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures := writeBenchJSON(f, scns, reports, 1); failures != 0 {
+		t.Fatalf("writeBenchJSON reported %d failures", failures)
+	}
+	f.Close()
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	rep, err := metrics.ReadBenchReport(rf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scenarios) != 2 || rep.Seed != 1 {
+		t.Fatalf("bench report = %+v", rep)
+	}
+	for _, s := range rep.Scenarios {
+		if len(s.Metrics) == 0 {
+			t.Fatalf("scenario %s tracked no metrics", s.Name)
+		}
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	scns, reports := runTracked(t, "tableI")
+	path := filepath.Join(t.TempDir(), "exp.md")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures := writeMarkdown(f, scns, reports, 1); failures != 0 {
+		t.Fatalf("writeMarkdown reported %d failures", failures)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, want := range []string{"| tableI |", "Fault model and campaign knobs", "link-flap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}

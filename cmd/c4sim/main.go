@@ -12,16 +12,20 @@
 //	c4sim -list                            # enumerate registered scenarios
 //	c4sim -scenario fig12                  # run one paper experiment
 //	c4sim -scenario 'fig*,pipeline'        # run a selection concurrently
+//	c4sim -campaign flap-sweep             # one fault-injection campaign
+//	c4sim -campaign all -campaign-json out # all campaigns + JSON reports
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"c4/internal/c4d"
 	"c4/internal/cluster"
+	"c4/internal/faults"
 	"c4/internal/harness"
 	"c4/internal/job"
 	"c4/internal/rca"
@@ -46,6 +50,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		list      = flag.Bool("list", false, "list registered scenarios and exit")
 		scenarios = flag.String("scenario", "", "run registered scenarios by name (comma-separated, globs allowed) instead of the interactive job sim")
+		campaign  = flag.String("campaign", "", "run fault-injection campaigns by short name ('all', comma-separated)")
+		cmpJSON   = flag.String("campaign-json", "", "with -campaign: also write one <name>.json report per campaign into this directory")
 		workers   = flag.Int("workers", 0, "concurrent scenarios with -scenario (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
@@ -53,6 +59,9 @@ func main() {
 	if *list {
 		scenario.FprintList(os.Stdout, scenario.All())
 		return
+	}
+	if *campaign != "" {
+		os.Exit(runCampaigns(*campaign, *cmpJSON, *seed, *workers))
 	}
 	if *scenarios != "" {
 		os.Exit(runScenarios(*scenarios, *seed, *workers))
@@ -227,6 +236,51 @@ func main() {
 	if master != nil {
 		logf("C4D emitted %d events", len(master.Events()))
 	}
+}
+
+// runCampaigns executes fault-injection campaigns through the registry
+// ("flap-sweep" -> scenario "campaign/flap-sweep"), optionally archiving
+// each campaign's machine-readable JSON report.
+func runCampaigns(selection, jsonDir string, seed int64, workers int) int {
+	scns, err := scenario.Select(faults.CampaignSelection(selection))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+		return 2
+	}
+	reports := (&scenario.Runner{Workers: workers}).Run(seed, scns)
+	failures := 0
+	for _, rep := range reports {
+		if scenario.FprintReport(os.Stdout, rep) {
+			failures++
+		}
+		if jsonDir == "" || rep.Err != nil {
+			continue
+		}
+		res, ok := rep.Result.(*faults.Result)
+		if !ok {
+			continue
+		}
+		if err := writeCampaignJSON(jsonDir, res); err != nil {
+			fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+			failures++
+		}
+	}
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func writeCampaignJSON(dir string, res *faults.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, res.Name+".json"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return res.WriteJSON(f)
 }
 
 // runScenarios executes a registry selection on the worker-pool runner and

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The smoke tests drive the CLI's registry paths end to end (the
+// interactive sim loop is exercised by the harness packages).
+
+func TestRunScenariosSmoke(t *testing.T) {
+	if code := runScenarios("tableI", 1, 1); code != 0 {
+		t.Fatalf("runScenarios(tableI) = %d, want 0", code)
+	}
+}
+
+func TestRunScenariosUnknown(t *testing.T) {
+	if code := runScenarios("no-such-scenario", 1, 1); code != 2 {
+		t.Fatalf("runScenarios(unknown) = %d, want 2", code)
+	}
+}
+
+func TestRunCampaignsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign sweep in -short mode")
+	}
+	dir := t.TempDir()
+	if code := runCampaigns("straggler-sweep", dir, 1, 0); code != 0 {
+		t.Fatalf("runCampaigns(straggler-sweep) = %d, want 0", code)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "straggler-sweep.json"))
+	if err != nil {
+		t.Fatalf("campaign JSON report not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("campaign JSON report empty")
+	}
+}
+
+func TestRunCampaignsUnknown(t *testing.T) {
+	if code := runCampaigns("no-such-campaign", "", 1, 1); code != 2 {
+		t.Fatalf("runCampaigns(unknown) = %d, want 2", code)
+	}
+}

@@ -1,0 +1,451 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+
+	"c4/internal/accl"
+	"c4/internal/c4d"
+	"c4/internal/c4p"
+	"c4/internal/cluster"
+	"c4/internal/job"
+	"c4/internal/metrics"
+	"c4/internal/netsim"
+	"c4/internal/rca"
+	"c4/internal/scenario"
+	"c4/internal/sim"
+	"c4/internal/steering"
+	"c4/internal/topo"
+	"c4/internal/workload"
+)
+
+// Placement selects how a trial's job nodes map onto leaf groups.
+type Placement int
+
+const (
+	// Spread interleaves the job across leaf groups so every ring edge
+	// crosses the spine layer (the collision-prone worst case).
+	Spread Placement = iota
+	// Packed fills one leaf group sequentially so traffic stays under the
+	// leaves (the topology-aware placement of §III-B).
+	Packed
+)
+
+func (p Placement) String() string {
+	if p == Packed {
+		return "packed"
+	}
+	return "spread"
+}
+
+// Trial is one generated experiment: a topology scale, a placement, and a
+// fault schedule.
+type Trial struct {
+	ID        string
+	JobN      int // job size in nodes (TP=8 within each node)
+	Spines    int // spine count: 8 = 1:1 fabric, 4 = 2:1 oversubscription
+	Placement Placement
+	Specs     []Spec
+}
+
+// TrialResult is one trial's measurements across both arms.
+type TrialResult struct {
+	ID     string `json:"id"`
+	Faults int    `json:"faults"`
+	// Score is the base arm's diagnosis confusion counts; precision,
+	// recall and RCA accuracy derive from it.
+	Score Score `json:"score"`
+
+	// Goodput is in training samples per second of virtual time; Base is
+	// the pinned-routes arm, Steered the C4P dynamic + job steering arm.
+	BaseGoodput    float64 `json:"base_goodput"`
+	SteeredGoodput float64 `json:"steered_goodput"`
+	BaseIters      int     `json:"base_iters"`
+	SteeredIters   int     `json:"steered_iters"`
+
+	// Events counts simulation events fired across both arms' engines.
+	Events uint64 `json:"events"`
+}
+
+// Delta is the relative goodput gain of steering over the pinned baseline.
+func (tr TrialResult) Delta() float64 {
+	if tr.BaseGoodput <= 0 {
+		return 0
+	}
+	return tr.SteeredGoodput/tr.BaseGoodput - 1
+}
+
+// Campaign is a named sweep: a deterministic trial generator plus a shape
+// check over the aggregated result.
+type Campaign struct {
+	Name        string
+	Description string
+	// Paper states the qualitative claim the sweep probes, for the
+	// experiments table.
+	Paper   string
+	Horizon sim.Time
+	// Gen produces the trial grid for a root seed. It must be
+	// deterministic in the seed.
+	Gen func(seed int64) []Trial
+	// Check validates campaign-specific claims on the aggregate result
+	// (optional; generic sanity checks always run).
+	Check func(*Result) error
+}
+
+// Result is the aggregated campaign report. It implements
+// scenario.Result (String + CheckShape) and scenario.EventCounter.
+type Result struct {
+	Name    string
+	Seed    int64
+	Horizon sim.Time
+	Trials  []TrialResult
+
+	check func(*Result) error
+}
+
+// Fired implements scenario.EventCounter: total simulation events across
+// every trial's engines.
+func (r *Result) Fired() uint64 {
+	var n uint64
+	for _, tr := range r.Trials {
+		n += tr.Events
+	}
+	return n
+}
+
+// Aggregate sums the per-trial scores.
+func (r *Result) Aggregate() Score {
+	var sc Score
+	for _, tr := range r.Trials {
+		sc = sc.Add(tr.Score)
+	}
+	return sc
+}
+
+// GoodputDelta is the aggregate steering gain over the trials where the
+// injected faults could impact the job; irrelevant-fault trials (fabric
+// faults under packed placement) would only dilute it.
+func (r *Result) GoodputDelta() float64 {
+	var base, steered float64
+	for _, tr := range r.Trials {
+		if tr.Score.Relevant == 0 {
+			continue
+		}
+		base += tr.BaseGoodput
+		steered += tr.SteeredGoodput
+	}
+	if base <= 0 {
+		return 0
+	}
+	return steered/base - 1
+}
+
+// String renders the campaign report as a table plus the aggregate line.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Campaign %s — %d trials, horizon %v, seed %d\n",
+		r.Name, len(r.Trials), r.Horizon, r.Seed)
+	rows := make([][]string, 0, len(r.Trials))
+	for _, tr := range r.Trials {
+		rca := "-"
+		if tr.Score.RCAEvents > 0 {
+			rca = fmt.Sprintf("%.2f", tr.Score.RCAAccuracy())
+		}
+		rows = append(rows, []string{
+			tr.ID,
+			fmt.Sprintf("%d/%d", tr.Score.Relevant, tr.Faults),
+			fmt.Sprintf("%.2f", tr.Score.Precision()),
+			fmt.Sprintf("%.2f", tr.Score.Recall()),
+			rca,
+			fmt.Sprintf("%.1f", tr.BaseGoodput),
+			fmt.Sprintf("%.1f", tr.SteeredGoodput),
+			fmt.Sprintf("%+.1f%%", tr.Delta()*100),
+		})
+	}
+	sb.WriteString(metrics.Table(
+		[]string{"trial", "rel", "P", "R", "rca", "pinned", "steered", "delta"}, rows))
+	agg := r.Aggregate()
+	fmt.Fprintf(&sb, "aggregate: precision %.2f, recall %.2f, rca %.2f, steering goodput %+.1f%%\n",
+		agg.Precision(), agg.Recall(), agg.RCAAccuracy(), r.GoodputDelta()*100)
+	return sb.String()
+}
+
+// CheckShape validates the generic campaign invariants plus the
+// campaign-specific Check.
+func (r *Result) CheckShape() error {
+	if len(r.Trials) == 0 {
+		return fmt.Errorf("campaign %s: no trials ran", r.Name)
+	}
+	for _, tr := range r.Trials {
+		if tr.BaseIters <= 0 || tr.SteeredIters <= 0 {
+			return fmt.Errorf("campaign %s: trial %s made no progress (base %d, steered %d iters)",
+				r.Name, tr.ID, tr.BaseIters, tr.SteeredIters)
+		}
+	}
+	if r.check != nil {
+		return r.check(r)
+	}
+	return nil
+}
+
+// Metrics returns the aggregate numbers tracked by the bench-regression
+// guard.
+func (r *Result) Metrics() map[string]float64 {
+	agg := r.Aggregate()
+	return map[string]float64{
+		"precision":     agg.Precision(),
+		"recall":        agg.Recall(),
+		"rca_accuracy":  agg.RCAAccuracy(),
+		"goodput_delta": r.GoodputDelta(),
+	}
+}
+
+// jsonReport is the serialized campaign report shape.
+type jsonReport struct {
+	Name      string             `json:"name"`
+	Seed      int64              `json:"seed"`
+	HorizonS  float64            `json:"horizon_s"`
+	Aggregate map[string]float64 `json:"aggregate"`
+	Trials    []TrialResult      `json:"trials"`
+}
+
+// WriteJSON emits the machine-readable campaign report.
+func (r *Result) WriteJSON(w io.Writer) error {
+	rep := jsonReport{
+		Name: r.Name, Seed: r.Seed, HorizonS: r.Horizon.Seconds(),
+		Aggregate: r.Metrics(), Trials: r.Trials,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// RunScenario executes the campaign under a scenario context, tracking its
+// event total; it is the registry entry point. The context's worker bound
+// propagates to the trial pool, so a `-workers 1` sweep is fully serial.
+func (c Campaign) RunScenario(ctx *scenario.Ctx) scenario.Result {
+	res := c.Run(ctx.Seed, ctx.Workers)
+	ctx.Track(res)
+	return res
+}
+
+// Run executes the campaign's trials on a bounded worker pool (workers<=0
+// means GOMAXPROCS). Every trial derives its own seed from the root seed
+// and builds isolated engines, so a parallel sweep is byte-identical to a
+// serial one.
+func (c Campaign) Run(seed int64, workers int) *Result {
+	trials := c.Gen(seed)
+	res := &Result{Name: c.Name, Seed: seed, Horizon: c.Horizon, check: c.Check}
+	res.Trials = make([]TrialResult, len(trials))
+	// Panics inside a trial happen on pool goroutines, outside the
+	// scenario runner's per-scenario guard; capture them per trial and
+	// re-raise the first (by trial order, for determinism) on the
+	// caller's goroutine, where RunOne's recover turns it into a failed
+	// report instead of a process crash.
+	panics := make([]any, len(trials))
+	scenario.ForEach(len(trials), workers, func(i int) {
+		defer func() { panics[i] = recover() }()
+		res.Trials[i] = RunTrial(trials[i], trialSeed(seed, i), c.Horizon)
+	})
+	for i, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("campaign %s trial %s: %v", c.Name, trials[i].ID, p))
+		}
+	}
+	return res
+}
+
+// trialSeed derives a per-trial root seed; trials must not share RNG
+// streams or equal-seeded trials would correlate.
+func trialSeed(seed int64, i int) int64 { return seed + int64(i+1)*1_000_003 }
+
+// RunTrial executes one trial's two arms and scores them.
+func RunTrial(tr Trial, seed int64, horizon sim.Time) TrialResult {
+	base := runArm(tr, seed, horizon, false)
+	steered := runArm(tr, seed, horizon, true)
+	out := TrialResult{
+		ID: tr.ID, Faults: len(tr.Specs), Score: base.score,
+		BaseIters: base.iters, SteeredIters: steered.iters,
+		Events: base.fired + steered.fired,
+	}
+	if horizon > 0 {
+		out.BaseGoodput = float64(base.iters) * samplesPerIter / horizon.Seconds()
+		out.SteeredGoodput = float64(steered.iters) * samplesPerIter / horizon.Seconds()
+	}
+	return out
+}
+
+const samplesPerIter = 64
+
+// arm is the outcome of one variant run.
+type arm struct {
+	iters int
+	fired uint64
+	score Score
+}
+
+// layout maps a trial onto fabric and job node sets. The fabric always
+// provisions one extra group's worth of backup nodes after the primaries.
+type layoutInfo struct {
+	fabricNodes int
+	primaries   int
+	spares      int
+	jobNodes    []int
+}
+
+const nodesPerGroup = 8 // MultiJobTestbed group width
+const spareNodes = 4
+
+func layout(tr Trial) layoutInfo {
+	var nodes []int
+	switch tr.Placement {
+	case Packed:
+		for i := 0; i < tr.JobN; i++ {
+			nodes = append(nodes, i)
+		}
+	default:
+		// Interleave across G groups (at least two) so every ring edge
+		// crosses the spine layer.
+		g := (tr.JobN + nodesPerGroup - 1) / nodesPerGroup
+		if g < 2 {
+			g = 2
+		}
+		for i := 0; i < tr.JobN; i++ {
+			nodes = append(nodes, (i%g)*nodesPerGroup+i/g)
+		}
+	}
+	maxNode := 0
+	for _, n := range nodes {
+		if n > maxNode {
+			maxNode = n
+		}
+	}
+	primaries := ((maxNode + nodesPerGroup) / nodesPerGroup) * nodesPerGroup
+	return layoutInfo{
+		fabricNodes: primaries + spareNodes,
+		primaries:   primaries,
+		spares:      spareNodes,
+		jobNodes:    nodes,
+	}
+}
+
+// PinnedProvider wraps a path provider and disables its fault response:
+// Repair hands back the existing assignment unchanged, so flows stay
+// pinned to their planned routes and simply stall until the fault clears.
+// It is the "no steering" arm of every campaign.
+type PinnedProvider struct{ accl.PathProvider }
+
+// Repair implements accl.PathProvider without repairing anything.
+func (p PinnedProvider) Repair(req accl.ConnRequest, old *accl.Assignment) (*accl.Assignment, error) {
+	if old != nil {
+		return old, nil
+	}
+	return p.PathProvider.Connect(req)
+}
+
+// steerable reports whether a finding should trigger node replacement:
+// node-scoped verdicts only — a single slow connection could as well be a
+// fabric link, which C4P's dynamic mode already routes around.
+func steerable(ev c4d.Event) bool { return ev.Scope != c4d.ScopeConnection }
+
+// runArm executes one variant of a trial. The steered arm runs C4P in
+// dynamic mode with adaptive QP weights and a steering service replacing
+// blamed nodes from the backup pool; the base arm pins routes and lets
+// the faults land. C4D monitors both; diagnosis is scored on the base arm,
+// where the syndromes are unmasked.
+func runArm(tr Trial, seed int64, horizon sim.Time, steered bool) arm {
+	lay := layout(tr)
+	spec := topo.MultiJobTestbed(tr.Spines)
+	spec.Nodes = lay.fabricNodes
+	eng := sim.NewEngine()
+	t := topo.MustNew(spec)
+	net := netsim.New(eng, t, netsim.DefaultConfig())
+
+	// Both arms open the same QP count so the measured delta isolates the
+	// fault response — dynamic re-placement, completion-time-driven QP
+	// re-weighting, and node replacement — rather than a QP-fanout
+	// difference (ablation-qp shows QP count alone moves goodput).
+	const qps = 4
+	var prov accl.PathProvider
+	adaptive := false
+	if steered {
+		prov = c4p.NewMaster(t, c4p.Dynamic, sim.NewRand(seed))
+		adaptive = true
+	} else {
+		prov = PinnedProvider{c4p.NewMaster(t, c4p.Static, sim.NewRand(seed))}
+	}
+
+	master := c4d.NewMaster(c4d.Config{})
+	fleet := c4d.NewFleet(eng, master)
+
+	j, err := job.New(job.Config{
+		Engine: eng, Net: net, Provider: prov, Sink: fleet,
+		Rails: []int{0}, Rand: sim.NewRand(seed + 1),
+		QPsPerConn: qps, AdaptiveWeights: adaptive,
+		Spec: workload.JobSpec{
+			Name:                 tr.ID,
+			Model:                workload.GPT22B,
+			Par:                  workload.Parallelism{TP: 8, DP: tr.JobN, GA: 1},
+			Nodes:                lay.jobNodes,
+			ComputePerMicroBatch: 550 * sim.Millisecond,
+			ComputeJitter:        0.02,
+			SamplesPerIter:       samplesPerIter,
+		},
+	})
+	if err != nil {
+		panic(fmt.Sprintf("faults: trial %s: %v", tr.ID, err))
+	}
+
+	inj := NewInjector(eng, net, t)
+	inj.SetStraggler = j.SetStraggler
+
+	var events []c4d.Event
+	var analyzer *rca.Analyzer
+	if steered {
+		cl := cluster.NewCluster(lay.primaries, spec.GPUsPerNode, lay.spares)
+		svc := steering.NewService(steering.Config{
+			Engine: eng, Cluster: cl,
+			IsolationDelay: 10 * sim.Second,
+			RestartDelay:   60 * sim.Second,
+			Isolate:        func(int) { j.Stop() },
+			Restart: func(node, repl int) {
+				// Best-effort replace: the blamed node may already have
+				// been swapped out by an earlier recovery, in which case
+				// ReplaceNode fails and the job resumes with its current
+				// membership (the fault, if still live, re-triggers C4D).
+				_ = j.ReplaceNode(node, repl)
+				if !j.Running() {
+					j.Run(1<<30, nil)
+				}
+			},
+		})
+		master.Subscribe(func(ev c4d.Event) {
+			if steerable(ev) && slices.Contains(j.Nodes(), ev.Node) {
+				svc.Handle(ev)
+			}
+		})
+	} else {
+		analyzer = rca.NewAnalyzer(0)
+		inj.OnTelemetry = analyzer.Observe
+		master.Subscribe(func(ev c4d.Event) { events = append(events, ev) })
+	}
+
+	for _, s := range tr.Specs {
+		if err := inj.Arm(s); err != nil {
+			panic(fmt.Sprintf("faults: trial %s: %v", tr.ID, err))
+		}
+	}
+
+	j.Run(1<<30, nil)
+	eng.RunUntil(horizon)
+	fleet.Stop()
+
+	a := arm{iters: len(j.IterTimes()), fired: eng.Fired()}
+	if !steered {
+		a.score = ScoreEvents(events, inj.Truth(lay.jobNodes), analyzer)
+	}
+	return a
+}

@@ -1,0 +1,264 @@
+package faults
+
+import (
+	"testing"
+
+	"c4/internal/netsim"
+	"c4/internal/rca"
+	"c4/internal/sim"
+	"c4/internal/topo"
+)
+
+func testRig() (*sim.Engine, *netsim.Network, *topo.Topology) {
+	eng := sim.NewEngine()
+	t := topo.MustNew(topo.MultiJobTestbed(8))
+	return eng, netsim.New(eng, t, netsim.DefaultConfig()), t
+}
+
+func TestSpecValidate(t *testing.T) {
+	_, _, top := testRig()
+	bad := []Spec{
+		{Kind: LinkFlap, Severity: 0.5, Start: 0, Duration: sim.Minute},           // no period
+		{Kind: LinkFlap, Severity: 1.5, Period: sim.Second, Duration: sim.Minute}, // duty >= 1
+		{Kind: LinkFlap, Severity: 0.5, Period: sim.Second, Duration: 0},          // empty window
+		{Kind: LinkFlap, Severity: 0.5, Period: sim.Second, Duration: sim.Minute, Uplink: 99},
+		{Kind: NICDegrade, Severity: 0.5, Duration: sim.Minute, Node: 999},
+		{Kind: NICDegrade, Severity: 0, Duration: sim.Minute, Node: 1},
+		{Kind: SpineOutage, Duration: sim.Minute, Spine: 8},
+		{Kind: Straggler, Severity: 99, Duration: sim.Minute, Node: 1},
+		{Kind: PacketDrop, Severity: 1.0, Duration: sim.Minute},
+		{Kind: Kind(99), Severity: 0.5, Duration: sim.Minute},
+	}
+	for _, s := range bad {
+		if err := s.Validate(top); err == nil {
+			t.Errorf("spec %+v validated, want error", s)
+		}
+	}
+	good := Spec{Kind: SpineOutage, Rail: 0, Spine: 3, Start: sim.Second, Duration: sim.Minute}
+	if err := good.Validate(top); err != nil {
+		t.Errorf("spec %v rejected: %v", good, err)
+	}
+}
+
+func TestFlapDutyCycle(t *testing.T) {
+	eng, net, top := testRig()
+	inj := NewInjector(eng, net, top)
+	leaf := top.LeafAt(0, 0, 0)
+	up, down := leaf.Ups[2], leaf.Downs[2]
+	err := inj.Arm(Spec{
+		Kind: LinkFlap, Rail: 0, Plane: 0, Group: 0, Uplink: 2,
+		Severity: 0.5, Period: 10 * sim.Second,
+		Start: 10 * sim.Second, Duration: 30 * sim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down in [10,15) and [20,25) and [30,35); up otherwise.
+	probes := map[sim.Time]bool{
+		5 * sim.Second:  true,
+		12 * sim.Second: false,
+		17 * sim.Second: true,
+		22 * sim.Second: false,
+		27 * sim.Second: true,
+		32 * sim.Second: false,
+		42 * sim.Second: true,
+	}
+	for at, wantUp := range probes {
+		at, wantUp := at, wantUp
+		eng.Schedule(at, func() {
+			if up.Up() != wantUp || down.Up() != wantUp {
+				t.Errorf("at %v: link up=%v/%v, want %v", at, up.Up(), down.Up(), wantUp)
+			}
+		})
+	}
+	eng.RunUntil(sim.Minute)
+}
+
+// TestOverlappingOutagesOnOneLink proves the composability contract: a
+// fault injected into an already-failed spine holds its links down until
+// both outages clear, with no mid-overlap revival.
+func TestOverlappingOutagesOnOneLink(t *testing.T) {
+	eng, net, top := testRig()
+	inj := NewInjector(eng, net, top)
+	for _, s := range []Spec{
+		{Kind: SpineOutage, Rail: 0, Spine: 1, Start: 10 * sim.Second, Duration: 40 * sim.Second},
+		{Kind: SpineOutage, Rail: 0, Spine: 1, Start: 30 * sim.Second, Duration: 40 * sim.Second},
+	} {
+		if err := inj.Arm(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link := top.LeafAt(0, 0, 0).Ups[1]
+	probes := map[sim.Time]bool{
+		5 * sim.Second:  true,
+		20 * sim.Second: false,
+		40 * sim.Second: false,
+		// First outage ended at 50; the second still holds the spine down.
+		55 * sim.Second: false,
+		// Both cleared at 70.
+		75 * sim.Second: true,
+	}
+	for at, wantUp := range probes {
+		at, wantUp := at, wantUp
+		eng.Schedule(at, func() {
+			if link.Up() != wantUp {
+				t.Errorf("at %v: link up=%v, want %v", at, link.Up(), wantUp)
+			}
+		})
+	}
+	eng.RunUntil(2 * sim.Minute)
+	if !link.Up() {
+		t.Fatal("link still down after both outages cleared")
+	}
+}
+
+// TestFlapDuringOutage overlaps two different fault kinds on one link: the
+// flap's up-edges inside the outage window must not revive the link.
+func TestFlapDuringOutage(t *testing.T) {
+	eng, net, top := testRig()
+	inj := NewInjector(eng, net, top)
+	for _, s := range []Spec{
+		{Kind: SpineOutage, Rail: 0, Spine: 2, Start: 10 * sim.Second, Duration: 60 * sim.Second},
+		{Kind: LinkFlap, Rail: 0, Plane: 0, Group: 0, Uplink: 2,
+			Severity: 0.5, Period: 10 * sim.Second, Start: 20 * sim.Second, Duration: 30 * sim.Second},
+	} {
+		if err := inj.Arm(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link := top.LeafAt(0, 0, 0).Ups[2]
+	// The flap would be up at t=27 (down [20,25)), but the outage holds.
+	for _, at := range []sim.Time{27 * sim.Second, 37 * sim.Second, 55 * sim.Second} {
+		at := at
+		eng.Schedule(at, func() {
+			if link.Up() {
+				t.Errorf("at %v: link revived inside outage window", at)
+			}
+		})
+	}
+	eng.Schedule(75*sim.Second, func() {
+		if !link.Up() {
+			t.Error("link down after outage and flap both ended")
+		}
+	})
+	eng.RunUntil(2 * sim.Minute)
+}
+
+func TestDegradeComposition(t *testing.T) {
+	eng, net, top := testRig()
+	inj := NewInjector(eng, net, top)
+	for _, s := range []Spec{
+		{Kind: NICDegrade, Rail: 0, Node: 3, Severity: 0.5, Start: 10 * sim.Second, Duration: 40 * sim.Second},
+		{Kind: NICDegrade, Rail: 0, Node: 3, Severity: 0.2, Start: 30 * sim.Second, Duration: 40 * sim.Second},
+	} {
+		if err := inj.Arm(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	port := top.PortAt(3, 0, 0)
+	base := port.Up.Gbps
+	check := func(at sim.Time, want float64) {
+		eng.Schedule(at, func() {
+			if got := port.Up.Gbps; !almost(got, want) {
+				t.Errorf("at %v: capacity %.1f, want %.1f", at, got, want)
+			}
+		})
+	}
+	check(5*sim.Second, base)
+	check(20*sim.Second, base*0.5)
+	check(40*sim.Second, base*0.5*0.8)
+	check(60*sim.Second, base*0.8)
+	check(80*sim.Second, base)
+	eng.RunUntil(2 * sim.Minute)
+}
+
+func TestLossComposition(t *testing.T) {
+	eng, net, top := testRig()
+	inj := NewInjector(eng, net, top)
+	for _, s := range []Spec{
+		{Kind: PacketDrop, Rail: 0, Plane: 0, Group: 0, Uplink: 4, Severity: 0.5,
+			Start: 10 * sim.Second, Duration: 30 * sim.Second},
+		{Kind: PacketDrop, Rail: 0, Plane: 0, Group: 0, Uplink: 4, Severity: 0.4,
+			Start: 20 * sim.Second, Duration: 30 * sim.Second},
+	} {
+		if err := inj.Arm(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link := top.LeafAt(0, 0, 0).Ups[4]
+	check := func(at sim.Time, want float64) {
+		eng.Schedule(at, func() {
+			if got := net.LinkLoss(link); !almost(got, want) {
+				t.Errorf("at %v: loss %.2f, want %.2f", at, got, want)
+			}
+		})
+	}
+	check(5*sim.Second, 0)
+	check(15*sim.Second, 0.5)
+	check(30*sim.Second, 1-0.5*0.6) // compounded: 0.7
+	check(45*sim.Second, 0.4)
+	check(55*sim.Second, 0)
+	eng.RunUntil(2 * sim.Minute)
+}
+
+func TestStragglerNeedsHook(t *testing.T) {
+	eng, net, top := testRig()
+	inj := NewInjector(eng, net, top)
+	err := inj.Arm(Spec{Kind: Straggler, Node: 1, Severity: 0.5, Duration: sim.Minute})
+	if err == nil {
+		t.Fatal("straggler armed without hook")
+	}
+	applied := map[int]sim.Time{}
+	inj.SetStraggler = func(node int, extra sim.Time) { applied[node] = extra }
+	if err := inj.Arm(Spec{Kind: Straggler, Node: 1, Severity: 0.5,
+		Start: sim.Second, Duration: sim.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	eng.RunUntil(30 * sim.Second)
+	if applied[1] != 500*sim.Millisecond {
+		t.Fatalf("straggler delay %v, want 500ms", applied[1])
+	}
+	eng.RunUntil(2 * sim.Minute)
+	if applied[1] != 0 {
+		t.Fatalf("straggler delay %v after window, want cleared", applied[1])
+	}
+}
+
+func TestTelemetrySignals(t *testing.T) {
+	eng, net, top := testRig()
+	inj := NewInjector(eng, net, top)
+	inj.SetStraggler = func(int, sim.Time) {}
+	var got []rca.Telemetry
+	inj.OnTelemetry = func(tel rca.Telemetry) { got = append(got, tel) }
+	specs := []Spec{
+		{Kind: LinkFlap, Severity: 0.5, Period: 5 * sim.Second, Duration: 20 * sim.Second},
+		{Kind: NICDegrade, Node: 2, Severity: 0.5, Duration: 20 * sim.Second},
+		{Kind: Straggler, Node: 4, Severity: 0.5, Duration: 20 * sim.Second},
+		// Silent: no monitor signal.
+		{Kind: PacketDrop, Severity: 0.5, Duration: 20 * sim.Second},
+	}
+	for _, s := range specs {
+		s.Start = sim.Second
+		if err := inj.Arm(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.RunUntil(sim.Minute)
+	want := []rca.TelemetryKind{rca.TelemetryLinkFlap, rca.TelemetryNICDown, rca.TelemetryThermal}
+	if len(got) != len(want) {
+		t.Fatalf("got %d telemetry signals, want %d (%v)", len(got), len(want), got)
+	}
+	for i, tel := range got {
+		if tel.Kind != want[i] {
+			t.Errorf("signal %d: %v, want %v", i, tel.Kind, want[i])
+		}
+	}
+	if len(inj.Armed()) != len(specs) {
+		t.Fatalf("Armed() reports %d specs, want %d", len(inj.Armed()), len(specs))
+	}
+}
+
+func almost(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -148,7 +148,8 @@ func TestRegistryCoversHarness(t *testing.T) {
 		"tableI", "tableIII", "fig3", "fig9", "fig10a", "fig10b", "fig11",
 		"fig12", "fig13", "fig14", "pipeline", "nccltest", "analyzer-demo",
 		"ablation-plane", "ablation-algo", "ablation-ckpt", "ablation-kappa",
-		"ablation-qp",
+		"ablation-qp", "campaign/flap-sweep", "campaign/degrade-sweep",
+		"campaign/outage-sweep", "campaign/straggler-sweep", "campaign/mixed",
 	} {
 		if _, ok := scenario.Get(name); !ok {
 			t.Errorf("scenario %q not registered", name)
@@ -174,6 +175,30 @@ func TestSummarizersMatchResults(t *testing.T) {
 	}
 	if line := s.Summarize(rep.Result); !strings.Contains(line, "local") {
 		t.Fatalf("tableI headline = %q", line)
+	}
+}
+
+// TestMetricsExtractors runs two cheap tracked scenarios end to end and
+// checks their bench-guard metrics render from the typed results.
+func TestMetricsExtractors(t *testing.T) {
+	for _, name := range []string{"tableI", "nccltest"} {
+		s, ok := scenario.Get(name)
+		if !ok || s.Metrics == nil {
+			t.Fatalf("scenario %q missing or untracked", name)
+		}
+		rep := scenario.RunOne(s, 1)
+		if rep.Err != nil {
+			t.Fatal(rep.Err)
+		}
+		m := s.Metrics(rep.Result)
+		if len(m) == 0 {
+			t.Fatalf("scenario %q produced no metrics", name)
+		}
+		for k, v := range m {
+			if v != v { // NaN
+				t.Fatalf("scenario %q metric %q is NaN", name, k)
+			}
+		}
 	}
 }
 

@@ -24,6 +24,10 @@ func init() {
 			t := r.(TableIResult)
 			return fmt.Sprintf("%.1f%% local of %d crashes", t.LocalFraction()*100, t.Total)
 		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			t := r.(TableIResult)
+			return map[string]float64{"local_frac": t.LocalFraction(), "crashes": float64(t.Total)}
+		},
 	})
 	reg(scenario.Scenario{
 		Name: "tableIII", Group: "table",
@@ -34,6 +38,10 @@ func init() {
 			t := r.(TableIIIResult)
 			return fmt.Sprintf("%.1f%% -> %.2f%% (%.0fx)",
 				t.Jun.Total()*100, t.Dec.Total()*100, t.Jun.Total()/t.Dec.Total())
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			t := r.(TableIIIResult)
+			return map[string]float64{"jun_downtime": t.Jun.Total(), "dec_downtime": t.Dec.Total()}
 		},
 	})
 	reg(scenario.Scenario{
@@ -56,6 +64,11 @@ func init() {
 			f := r.(Fig9Result)
 			n := len(f.GPUs) - 1
 			return fmt.Sprintf("%.0f vs %.0f Gbps at %d GPUs", f.Baseline[n], f.C4P[n], f.GPUs[n])
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			f := r.(Fig9Result)
+			n := len(f.GPUs) - 1
+			return map[string]float64{"baseline_gbps": f.Baseline[n], "c4p_gbps": f.C4P[n]}
 		},
 	})
 	for _, v := range []struct {
@@ -132,6 +145,13 @@ func init() {
 			f := r.(PipelineResult)
 			return fmt.Sprintf("detect +%v, restart +%v", f.Detection, f.Downtime)
 		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			f := r.(PipelineResult)
+			return map[string]float64{
+				"detection_s": f.Detection.Seconds(),
+				"downtime_s":  f.Downtime.Seconds(),
+			}
+		},
 	})
 	reg(scenario.Scenario{
 		Name: "nccltest", Group: "bench",
@@ -142,6 +162,9 @@ func init() {
 		Summarize: func(r scenario.Result) string {
 			return fmt.Sprintf("mean %.1f Gbps", r.(NCCLTestResult).MeanBusGbps())
 		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			return map[string]float64{"busbw_gbps": r.(NCCLTestResult).MeanBusGbps()}
+		},
 	})
 	reg(scenario.Scenario{
 		Name: "analyzer-demo", Group: "pipeline",
@@ -150,6 +173,13 @@ func init() {
 		Run:         func(c *scenario.Ctx) scenario.Result { return runAnalyzerDemo(c) },
 		Summarize: func(r scenario.Result) string {
 			return fmt.Sprintf("%d findings", len(r.(AnalyzerDemoResult).Findings))
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			f := r.(AnalyzerDemoResult)
+			return map[string]float64{
+				"findings": float64(len(f.Findings)),
+				"records":  float64(len(f.Recorder.Messages)),
+			}
 		},
 	})
 	reg(scenario.Scenario{
@@ -160,6 +190,10 @@ func init() {
 		Summarize: func(r scenario.Result) string {
 			f := r.(PlaneRuleAblation)
 			return fmt.Sprintf("%.0f with vs %.0f without", f.WithRule, f.WithoutRule)
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			f := r.(PlaneRuleAblation)
+			return map[string]float64{"with_rule_gbps": f.WithRule, "without_rule_gbps": f.WithoutRule}
 		},
 	})
 	reg(scenario.Scenario{
@@ -193,6 +227,10 @@ func init() {
 			f := r.(KappaSweep)
 			return fmt.Sprintf("κ=2: %.0f%% det, %.1f%% FP", f.Detected[2]*100, f.FalsePositive[2]*100)
 		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			f := r.(KappaSweep)
+			return map[string]float64{"kappa2_detected": f.Detected[2], "kappa2_fp": f.FalsePositive[2]}
+		},
 	})
 	reg(scenario.Scenario{
 		Name: "ablation-qp", Group: "ablation",
@@ -205,5 +243,12 @@ func init() {
 			return fmt.Sprintf("%.0f Gbps at %d QPs vs %.0f at %d",
 				f.Baseline[0], f.QPs[0], f.Baseline[n], f.QPs[n])
 		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			f := r.(QPSweep)
+			n := len(f.QPs) - 1
+			return map[string]float64{"qp1_gbps": f.Baseline[0], "qp_max_gbps": f.Baseline[n]}
+		},
 	})
+
+	registerCampaigns()
 }

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleReport() BenchReport {
+	return BenchReport{
+		Seed: 1,
+		Scenarios: []BenchScenario{
+			{Name: "fig9", Events: 1000, Metrics: map[string]float64{"busbw": 360.0}},
+			{Name: "campaign/flap", Events: 5000, Metrics: map[string]float64{"recall": 1.0, "delta": 0.5}},
+		},
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep := sampleReport()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := DiffBenchReports(rep, got, 0.0001); len(diffs) != 0 {
+		t.Fatalf("round trip drifted: %v", diffs)
+	}
+	// Canonical form: scenarios sorted by name.
+	if got.Scenarios[0].Name != "campaign/flap" {
+		t.Fatalf("report not sorted: %v", got.Scenarios)
+	}
+}
+
+func TestBenchReportCanonicalBytes(t *testing.T) {
+	var a, b bytes.Buffer
+	rep := sampleReport()
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	// Reversed input order must serialize identically.
+	rev := sampleReport()
+	rev.Scenarios[0], rev.Scenarios[1] = rev.Scenarios[1], rev.Scenarios[0]
+	if err := rev.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("serialization not canonical:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
+func TestDiffDetectsDrift(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Scenarios[0].Metrics["busbw"] = 360 * 1.08 // +8% > 5%
+	diffs := DiffBenchReports(base, cur, 0.05)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "busbw") {
+		t.Fatalf("diffs = %v, want one busbw drift", diffs)
+	}
+	// Within tolerance: no complaint.
+	cur.Scenarios[0].Metrics["busbw"] = 360 * 1.04
+	if diffs := DiffBenchReports(base, cur, 0.05); len(diffs) != 0 {
+		t.Fatalf("within-tolerance drift flagged: %v", diffs)
+	}
+}
+
+func TestDiffDetectsEventDrift(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Scenarios[1].Events = 6000 // +20%
+	diffs := DiffBenchReports(base, cur, 0.05)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "events") {
+		t.Fatalf("diffs = %v, want one event-count drift", diffs)
+	}
+}
+
+func TestDiffDetectsMissingAndNew(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Scenarios = cur.Scenarios[:1] // drop campaign/flap
+	cur.Scenarios = append(cur.Scenarios, BenchScenario{Name: "novel", Events: 1})
+	diffs := DiffBenchReports(base, cur, 0.05)
+	joined := strings.Join(diffs, "\n")
+	if !strings.Contains(joined, "campaign/flap: missing") {
+		t.Fatalf("missing scenario not reported: %v", diffs)
+	}
+	if !strings.Contains(joined, "novel: not in baseline") {
+		t.Fatalf("new scenario not reported: %v", diffs)
+	}
+}
+
+func TestDiffDetectsMetricChanges(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	delete(cur.Scenarios[1].Metrics, "recall")
+	cur.Scenarios[1].Metrics["novel_metric"] = 1
+	diffs := DiffBenchReports(base, cur, 0.05)
+	joined := strings.Join(diffs, "\n")
+	if !strings.Contains(joined, `metric "recall" missing`) {
+		t.Fatalf("dropped metric not reported: %v", diffs)
+	}
+	if !strings.Contains(joined, `new metric "novel_metric"`) {
+		t.Fatalf("new metric not reported: %v", diffs)
+	}
+}
+
+func TestDiffSeedMismatch(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Seed = 2
+	if diffs := DiffBenchReports(base, cur, 0.05); len(diffs) == 0 {
+		t.Fatal("seed mismatch not reported")
+	}
+}
+
+func TestRelDriftNearZero(t *testing.T) {
+	// A metric moving off a zero baseline must trip the guard even though
+	// the relative change is undefined — including moves smaller than the
+	// relative tolerance (a 0 -> 0.01 false-alarm rate is a regression).
+	if _, bad := relDrift(0, 0.2, 0.05); !bad {
+		t.Fatal("zero-baseline drift not flagged")
+	}
+	if _, bad := relDrift(0, 0.01, 0.05); !bad {
+		t.Fatal("sub-tolerance zero-baseline drift not flagged")
+	}
+	if _, bad := relDrift(0, 0, 0.05); bad {
+		t.Fatal("zero-to-zero flagged")
+	}
+}
+
+func TestReadBenchReportRejectsGarbage(t *testing.T) {
+	if _, err := ReadBenchReport(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

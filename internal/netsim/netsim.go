@@ -63,6 +63,7 @@ type Flow struct {
 	sizeBits  float64
 	remaining float64
 	rate      float64 // bits per second, current allocation
+	goodRate  float64 // bits per second actually delivered (rate minus loss)
 	cnpRate   float64 // CNPs per second currently being received
 	started   sim.Time
 	admitted  bool
@@ -73,6 +74,11 @@ type Flow struct {
 
 // Rate reports the flow's current bandwidth allocation in bits/second.
 func (f *Flow) Rate() float64 { return f.rate }
+
+// Goodput reports the flow's current delivered bandwidth in bits/second:
+// the allocation scaled down by silent packet loss on the path. Equal to
+// Rate when every link on the path is loss-free.
+func (f *Flow) Goodput() float64 { return f.goodRate }
 
 // Remaining reports undelivered bits.
 func (f *Flow) Remaining() float64 { return f.remaining }
@@ -111,6 +117,13 @@ type Network struct {
 	cnpCount    []float64
 	lastSettle  sim.Time
 
+	// lossFrac is the silent packet-drop fraction per link (indexed by
+	// link ID). A lossy link stays Up and keeps its capacity — senders
+	// burn wire bandwidth on retransmissions — but goodput across it
+	// shrinks by the loss factor, which is exactly the failure mode only
+	// transport-level statistics (C4D) can see.
+	lossFrac []float64
+
 	// Scratch state reused across recompute calls. Link IDs are dense
 	// (indices into Topo.Links), so slice-indexed accumulators replace the
 	// per-call maps that otherwise dominate the simulator's CPU profile.
@@ -133,6 +146,7 @@ func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Network {
 		Cfg:         cfg,
 		carriedBits: make([]float64, nl),
 		cnpCount:    make([]float64, nl),
+		lossFrac:    make([]float64, nl),
 		scCap:       make([]float64, nl),
 		scCount:     make([]int, nl),
 		scFlows:     make([][]*Flow, nl),
@@ -203,6 +217,25 @@ func (n *Network) SetLinkCapacity(l *topo.Link, gbps float64) {
 	l.Gbps = gbps
 	n.invalidate()
 }
+
+// SetLinkLoss sets a link's silent packet-drop fraction in [0, 0.99]. The
+// link stays healthy and keeps its wire capacity; flows crossing it deliver
+// only a (1-frac) share of their allocated rate. Losses on multiple links
+// of one path compound multiplicatively.
+func (n *Network) SetLinkLoss(l *topo.Link, frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 0.99 {
+		frac = 0.99 // total silence would be a down link, not a lossy one
+	}
+	n.settle()
+	n.lossFrac[l.ID] = frac
+	n.invalidate()
+}
+
+// LinkLoss reports a link's current silent packet-drop fraction.
+func (n *Network) LinkLoss(l *topo.Link) float64 { return n.lossFrac[l.ID] }
 
 // SetLinkUp changes a link's health and notifies affected flows.
 func (n *Network) SetLinkUp(l *topo.Link, up bool) {
@@ -303,10 +336,10 @@ func (n *Network) settle() {
 		return
 	}
 	for _, f := range n.flows {
-		if f.rate <= 0 {
+		if f.goodRate <= 0 {
 			continue
 		}
-		delta := f.rate * dt
+		delta := f.goodRate * dt
 		if delta > f.remaining {
 			delta = f.remaining
 		}
@@ -436,11 +469,16 @@ func (n *Network) recompute() {
 	}
 	for _, f := range n.flows {
 		f.cnpRate = 0
+		loss := 1.0
 		for _, l := range f.Path.Links {
 			if factor := n.scFactor[l.ID]; factor > 0 {
 				f.cnpRate += n.Cfg.CNPPerSecond * factor
 			}
+			if fr := n.lossFrac[l.ID]; fr > 0 {
+				loss *= 1 - fr
+			}
 		}
+		f.goodRate = f.rate * loss
 	}
 	// Restore the between-calls invariant: scSeen and scFactor all zero, so
 	// links untouched by the next flow set read as absent, not stale.
@@ -457,10 +495,10 @@ func (n *Network) recompute() {
 	// at exactly zero remaining.
 	minEta := sim.MaxTime
 	for _, f := range n.flows {
-		if f.rate <= 0 {
+		if f.goodRate <= 0 {
 			continue
 		}
-		eta := sim.FromSeconds(f.remaining/f.rate) + 1
+		eta := sim.FromSeconds(f.remaining/f.goodRate) + 1
 		if eta < 1 {
 			eta = 1
 		}

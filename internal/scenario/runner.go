@@ -37,14 +37,40 @@ type Runner struct {
 // report per scenario, in input order. Panics inside a scenario are
 // captured into the report rather than killing sibling workers.
 func (r *Runner) Run(seed int64, scns []Scenario) []Report {
-	workers := r.Workers
+	reports := make([]Report, len(scns))
+	// When the scenario pool itself runs wide, nested pools (campaign
+	// trials) get one worker each so total concurrency stays at the
+	// scenario bound instead of squaring it; a single-scenario or
+	// explicitly serial run passes the caller's bound straight through.
+	outer := r.Workers
+	if outer <= 0 {
+		outer = runtime.GOMAXPROCS(0)
+	}
+	if outer > len(scns) {
+		outer = len(scns)
+	}
+	nested := r.Workers
+	if outer > 1 {
+		nested = 1
+	}
+	ForEach(len(scns), r.Workers, func(i int) {
+		reports[i] = runOne(scns[i], seed, nested)
+	})
+	return reports
+}
+
+// ForEach invokes fn(i) for every i in [0,n) on a bounded worker pool
+// (workers <= 0 means GOMAXPROCS) and returns once every call completed.
+// It is the scheduling core shared by the scenario runner and the
+// fault-campaign trial runner: callers own output slots by index, so
+// execution order cannot affect results.
+func ForEach(n, workers int, fn func(int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(scns) {
-		workers = len(scns)
+	if workers > n {
+		workers = n
 	}
-	reports := make([]Report, len(scns))
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -52,16 +78,15 @@ func (r *Runner) Run(seed int64, scns []Scenario) []Report {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				reports[i] = RunOne(scns[i], seed)
+				fn(i)
 			}
 		}()
 	}
-	for i := range scns {
+	for i := 0; i < n; i++ {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
-	return reports
 }
 
 // RunOne executes a single scenario with the given seed, capturing wall
@@ -69,9 +94,12 @@ func (r *Runner) Run(seed int64, scns []Scenario) []Report {
 // CheckShape are scenario-author code, so both execute under the panic
 // guard; a Run that returns nil without panicking is reported as an error
 // rather than a silent success.
-func RunOne(s Scenario, seed int64) Report {
+func RunOne(s Scenario, seed int64) Report { return runOne(s, seed, 0) }
+
+func runOne(s Scenario, seed int64, workers int) Report {
 	rep := Report{Name: s.Name, Seed: seed}
 	ctx := NewCtx(seed)
+	ctx.Workers = workers
 	start := time.Now()
 	func() {
 		defer func() {

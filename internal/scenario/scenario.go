@@ -36,6 +36,11 @@ type Ctx struct {
 	// Seed is the root seed; scenarios derive all RNG streams from it so
 	// equal seeds give bit-identical results.
 	Seed int64
+	// Workers bounds any nested worker pool the scenario spawns (the
+	// fault campaigns run trials concurrently); 0 means GOMAXPROCS. The
+	// runner propagates its own bound here so `-workers 1` really is a
+	// serial run.
+	Workers int
 
 	counters []EventCounter
 }
@@ -80,4 +85,9 @@ type Scenario struct {
 	// Summarize renders a one-line measured headline from a Result
 	// produced by Run (optional; used for EXPERIMENTS.md).
 	Summarize func(Result) string
+	// Metrics extracts the deterministic key numbers tracked by the
+	// bench-regression guard (optional). Scenarios with a Metrics
+	// extractor are included in `c4bench -json` baselines; CI fails when
+	// a tracked number drifts from the committed baseline.
+	Metrics func(Result) map[string]float64
 }

@@ -298,6 +298,20 @@ func (t *Topology) SpineAt(rail, index int) *Spine {
 	return t.Spines[rail*t.Spec.Spines+index]
 }
 
+// SpineLinks returns every fabric link touching the spine at (rail, index):
+// the leaf-up and spine-down links of all leaves on that rail, across both
+// planes. It is the blast radius of a spine/switch outage.
+func (t *Topology) SpineLinks(rail, index int) []*Link {
+	var out []*Link
+	for _, leaf := range t.Leaves {
+		if leaf.Rail != rail {
+			continue
+		}
+		out = append(out, leaf.Ups[index], leaf.Downs[index])
+	}
+	return out
+}
+
 // LeafAt returns the leaf serving (rail, plane, group).
 func (t *Topology) LeafAt(rail, plane, group int) *Leaf {
 	return t.leafIndex[[3]int{rail, plane, group}]

@@ -229,3 +229,35 @@ func TestPathStructureProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestSpineLinks(t *testing.T) {
+	top := MustNew(MultiJobTestbed(8))
+	spec := top.Spec
+	links := top.SpineLinks(0, 3)
+	// Every leaf of rail 0 (both planes, all groups) contributes its up and
+	// down link to spine 3.
+	wantLeaves := Planes * spec.Groups()
+	if len(links) != 2*wantLeaves {
+		t.Fatalf("SpineLinks returned %d links, want %d", len(links), 2*wantLeaves)
+	}
+	sp := top.SpineAt(0, 3)
+	seen := map[int]bool{}
+	for _, l := range links {
+		if l.Spine != sp {
+			t.Fatalf("link %s does not touch %s", l.Name, sp.Name())
+		}
+		if l.Kind != LinkLeafUp && l.Kind != LinkSpineDown {
+			t.Fatalf("link %s has kind %v", l.Name, l.Kind)
+		}
+		if seen[l.ID] {
+			t.Fatalf("link %s returned twice", l.Name)
+		}
+		seen[l.ID] = true
+	}
+	// Other rails' spines are untouched.
+	for _, l := range top.SpineLinks(1, 0) {
+		if l.Spine.Rail != 1 {
+			t.Fatalf("rail 1 spine links include rail %d", l.Spine.Rail)
+		}
+	}
+}
