@@ -8,8 +8,8 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check test test-race ci bench experiments \
-	bench-json bench-baseline bench-check cover clean
+.PHONY: all build vet fmt-check test test-race tenancy-smoke ci bench \
+	experiments bench-json bench-baseline bench-check cover clean
 
 all: ci
 
@@ -34,7 +34,13 @@ test:
 test-race:
 	$(GO) test -race -short ./...
 
-ci: fmt-check vet build test test-race
+# One small multi-tenant churn trial through the registry: Poisson job
+# arrivals/departures on a shared fabric, with the shape check asserting
+# every tenant made progress. Fast enough to run on every CI push.
+tenancy-smoke:
+	$(GO) run ./cmd/c4bench -only tenancy/churn
+
+ci: fmt-check vet build test test-race tenancy-smoke
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

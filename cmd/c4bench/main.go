@@ -176,6 +176,7 @@ func writeMarkdown(w *os.File, scns []scenario.Scenario, reports []scenario.Repo
 			s.Name, strings.Join(parts, ", "), reports[i].Events)
 	}
 	writeFaultModelDocs(w)
+	writeTenancyDocs(w)
 	return failures
 }
 
@@ -212,6 +213,33 @@ start/duration, and per-kind severity. Campaign results aggregate into
 this table via the campaign/* rows above; machine-readable reports come
 from `+"`c4sim -campaign <name> -campaign-json DIR`"+` and the bench
 baseline from `+"`c4bench -json`"+`.`)
+}
+
+// writeTenancyDocs documents the multi-tenant scenario family's engine and
+// knobs (internal/tenancy) in the generated experiments file.
+func writeTenancyDocs(w *os.File) {
+	fmt.Fprintln(w, `
+## Multi-tenant scenarios
+
+The tenancy/* scenarios replay job arrival traces against one shared
+fabric: N concurrent training jobs (pure DP, TP8 intra-node) are placed
+by a pluggable policy (packed / spread / random), queue FIFO when the
+cluster is full, and contend on the same simulated links. Reported
+metrics: per-job goodput (samples/s), stretch (mean iteration time over
+the job's compute-only iteration time), and Jain's fairness index over
+per-node goodputs.
+
+- tenancy/collision-sweep: 1/2/4 concurrent 4-node jobs, spread
+  placement, 2:1 fabric, pinned-ECMP arm vs C4P-dynamic arm. The shape
+  check requires C4P to win aggregate goodput at every count >= 2.
+- tenancy/churn: a seeded Poisson trace (mean interarrival 6 s, mean
+  duration 25 s, sizes 2/4) on the 1:1 fabric under C4P with packed
+  placement; every admitted tenant must make progress and depart cleanly.
+- tenancy/placement-compare: the same 3-job workload under each placement
+  policy with pinned ECMP at 2:1; packing must beat spreading.
+
+Traces are JSON (`+"`c4sim -tenancy-trace FILE`"+`; format in README.md)
+and equal seeds replay byte-identically, serial or parallel.`)
 }
 
 func escape(s string) string {

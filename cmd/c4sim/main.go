@@ -14,6 +14,8 @@
 //	c4sim -scenario 'fig*,pipeline'        # run a selection concurrently
 //	c4sim -campaign flap-sweep             # one fault-injection campaign
 //	c4sim -campaign all -campaign-json out # all campaigns + JSON reports
+//	c4sim -tenancy-trace trace.json        # replay a multi-tenant arrival trace
+//	c4sim -tenancy-trace trace.json -tenancy-policy spread -provider baseline
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"c4/internal/sched"
 	"c4/internal/sim"
 	"c4/internal/steering"
+	"c4/internal/tenancy"
 	"c4/internal/topo"
 	"c4/internal/workload"
 )
@@ -53,6 +56,9 @@ func main() {
 		campaign  = flag.String("campaign", "", "run fault-injection campaigns by short name ('all', comma-separated)")
 		cmpJSON   = flag.String("campaign-json", "", "with -campaign: also write one <name>.json report per campaign into this directory")
 		workers   = flag.Int("workers", 0, "concurrent scenarios with -scenario (0 = GOMAXPROCS)")
+		tenTrace  = flag.String("tenancy-trace", "", "replay a multi-tenant JSON arrival trace on a shared fabric (see README for the format)")
+		tenPolicy = flag.String("tenancy-policy", "packed", "with -tenancy-trace: placement policy: packed | spread | random")
+		tenSpines = flag.Int("tenancy-spines", 8, "with -tenancy-trace: spine switches per rail (8 = 1:1, 4 = 2:1)")
 	)
 	flag.Parse()
 
@@ -65,6 +71,9 @@ func main() {
 	}
 	if *scenarios != "" {
 		os.Exit(runScenarios(*scenarios, *seed, *workers))
+	}
+	if *tenTrace != "" {
+		os.Exit(runTenancy(*tenTrace, *tenPolicy, *provider, *tenSpines, *horizon, *seed))
 	}
 
 	spec := topo.MultiJobTestbed(8)
@@ -281,6 +290,51 @@ func writeCampaignJSON(dir string, res *faults.Result) error {
 	}
 	defer f.Close()
 	return res.WriteJSON(f)
+}
+
+// runTenancy replays a JSON arrival trace through the multi-tenant engine:
+// concurrent jobs placed by the chosen policy, contending on one shared
+// fabric under the chosen steering arm.
+func runTenancy(path, policy, provider string, spines int, horizon time.Duration, seed int64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+		return 2
+	}
+	trace, err := tenancy.ParseTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+		return 2
+	}
+	pol, err := sched.ParsePolicy(policy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+		return 2
+	}
+	// Same flag semantics as the scenario path above: "c4p" is static
+	// traffic engineering, "c4p-dynamic" adds reallocation + QP balance.
+	var arm tenancy.Arm
+	switch provider {
+	case "baseline":
+		arm = tenancy.ArmPinnedECMP
+	case "c4p":
+		arm = tenancy.ArmC4PStatic
+	case "c4p-dynamic":
+		arm = tenancy.ArmC4P
+	default:
+		fmt.Fprintf(os.Stderr, "c4sim: unknown provider %q\n", provider)
+		return 2
+	}
+	res := tenancy.Run(tenancy.Config{
+		Spines:  spines,
+		Policy:  pol,
+		Arm:     arm,
+		Horizon: sim.FromDuration(horizon),
+		Seed:    seed,
+		Trace:   trace,
+	})
+	fmt.Print(res)
+	return 0
 }
 
 // runScenarios executes a registry selection on the worker-pool runner and

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 // The smoke tests drive the CLI's registry paths end to end (the
@@ -41,5 +42,34 @@ func TestRunCampaignsSmoke(t *testing.T) {
 func TestRunCampaignsUnknown(t *testing.T) {
 	if code := runCampaigns("no-such-campaign", "", 1, 1); code != 2 {
 		t.Fatalf("runCampaigns(unknown) = %d, want 2", code)
+	}
+}
+
+func TestRunTenancySmoke(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(trace, []byte(`{"events": [
+		{"at_s": 0, "name": "a", "nodes": 2, "duration_s": 10},
+		{"at_s": 1, "name": "b", "nodes": 2, "duration_s": 10}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runTenancy(trace, "packed", "c4p", 8, 30*time.Second, 1); code != 0 {
+		t.Fatalf("runTenancy = %d, want 0", code)
+	}
+}
+
+func TestRunTenancyBadInputs(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(trace, []byte(`{"events": [{"at_s": 0, "nodes": 2, "duration_s": 10}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := runTenancy(filepath.Join(t.TempDir(), "missing.json"), "packed", "c4p", 8, time.Second, 1); code != 2 {
+		t.Fatalf("missing trace file: code %d, want 2", code)
+	}
+	if code := runTenancy(trace, "diagonal", "c4p", 8, time.Second, 1); code != 2 {
+		t.Fatalf("bad policy: code %d, want 2", code)
+	}
+	if code := runTenancy(trace, "packed", "carrier-pigeon", 8, time.Second, 1); code != 2 {
+		t.Fatalf("bad provider: code %d, want 2", code)
 	}
 }

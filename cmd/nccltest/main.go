@@ -11,8 +11,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"c4/internal/harness"
@@ -20,16 +22,29 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: parses flags, executes the benchmark and
+// reports the exit code (2 = usage error, 1 = benchmark failure).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nccltest", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		nodes    = flag.Int("nodes", 8, "number of nodes in the ring (8 GPUs each)")
-		mib      = flag.Float64("mib", 512, "payload per iteration in MiB")
-		iters    = flag.Int("iters", 8, "iterations")
-		provider = flag.String("provider", "c4p", "path control: baseline | c4p | c4p-dynamic")
-		spines   = flag.Int("spines", 8, "spine switches per rail (8 = 1:1 oversubscription, 4 = 2:1)")
-		qps      = flag.Int("qps", 2, "QPs per connection")
-		seed     = flag.Int64("seed", 1, "simulation seed")
+		nodes    = fs.Int("nodes", 8, "number of nodes in the ring (8 GPUs each)")
+		mib      = fs.Float64("mib", 512, "payload per iteration in MiB")
+		iters    = fs.Int("iters", 8, "iterations")
+		provider = fs.String("provider", "c4p", "path control: baseline | c4p | c4p-dynamic")
+		spines   = fs.Int("spines", 8, "spine switches per rail (8 = 1:1 oversubscription, 4 = 2:1)")
+		qps      = fs.Int("qps", 2, "QPs per connection")
+		seed     = fs.Int64("seed", 1, "simulation seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var kind harness.ProviderKind
 	switch *provider {
@@ -40,23 +55,27 @@ func main() {
 	case "c4p-dynamic":
 		kind = harness.C4PDynamic
 	default:
-		fmt.Fprintf(os.Stderr, "nccltest: unknown provider %q\n", *provider)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "nccltest: unknown provider %q\n", *provider)
+		return 2
 	}
 	if max := topo.MultiJobTestbed(*spines).Nodes; *nodes > max {
-		fmt.Fprintf(os.Stderr, "nccltest: at most %d nodes on this testbed\n", max)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "nccltest: at most %d nodes on this testbed\n", max)
+		return 2
 	}
 
-	defer func() {
-		if p := recover(); p != nil {
-			fmt.Fprintf(os.Stderr, "nccltest: %v\n", p)
-			os.Exit(1)
-		}
+	code := 0
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				fmt.Fprintf(stderr, "nccltest: %v\n", p)
+				code = 1
+			}
+		}()
+		res := harness.RunNCCLTest(*seed, harness.NCCLTestSpec{
+			Nodes: *nodes, Spines: *spines, MiB: *mib, Iters: *iters,
+			Kind: kind, QPsPerConn: *qps,
+		})
+		fmt.Fprint(stdout, res)
 	}()
-	res := harness.RunNCCLTest(*seed, harness.NCCLTestSpec{
-		Nodes: *nodes, Spines: *spines, MiB: *mib, Iters: *iters,
-		Kind: kind, QPsPerConn: *qps,
-	})
-	fmt.Print(res)
+	return code
 }

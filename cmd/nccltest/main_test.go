@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Smoke tests drive the CLI's flag paths end to end, like the other four
+// commands; the benchmark engine itself is exercised by internal/harness.
+
+func TestRunSmoke(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-nodes", "4", "-iters", "2", "-mib", "64"}, &out, &errw); code != 0 {
+		t.Fatalf("run = %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	got := out.String()
+	for _, want := range []string{"allreduce", "busbw", "mean busbw"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunProviders(t *testing.T) {
+	for _, p := range []string{"baseline", "c4p", "c4p-dynamic"} {
+		var out, errw bytes.Buffer
+		if code := run([]string{"-provider", p, "-nodes", "4", "-iters", "1", "-mib", "32"}, &out, &errw); code != 0 {
+			t.Fatalf("provider %s: run = %d (stderr: %s)", p, code, errw.String())
+		}
+	}
+}
+
+func TestRunHelpExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-h) = %d, want 0", code)
+	}
+	if !strings.Contains(errw.String(), "provider") {
+		t.Fatalf("usage text missing:\n%s", errw.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := map[string][]string{
+		"unknown provider": {"-provider", "smoke-signals"},
+		"too many nodes":   {"-nodes", "99"},
+		"bad flag":         {"-definitely-not-a-flag"},
+	}
+	for name, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("%s: run = %d, want 2", name, code)
+		}
+		if errw.Len() == 0 {
+			t.Errorf("%s: no diagnostic on stderr", name)
+		}
+	}
+}

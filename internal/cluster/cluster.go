@@ -150,6 +150,17 @@ func NewCluster(n, g, spares int) *Cluster {
 // SpareCount reports remaining backup machines.
 func (c *Cluster) SpareCount() int { return len(c.spares) }
 
+// Healthy reports whether a machine is in service: built, healthy and not
+// isolated. The multi-tenant scheduler gates admission on it so jobs never
+// land on machines a fault campaign has taken down.
+func (c *Cluster) Healthy(node int) bool {
+	if node < 0 || node >= len(c.Machines) {
+		return false
+	}
+	m := c.Machines[node]
+	return m.Healthy && !m.Isolated
+}
+
 // Isolate removes a machine from service and returns a replacement from
 // the backup pool, or -1 if the pool is empty.
 func (c *Cluster) Isolate(node int) (replacement int) {

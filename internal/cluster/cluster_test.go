@@ -44,6 +44,24 @@ func TestIsolateAndRestore(t *testing.T) {
 	}
 }
 
+func TestHealthy(t *testing.T) {
+	c := NewCluster(4, 8, 1)
+	if !c.Healthy(0) || !c.Healthy(4) {
+		t.Fatal("fresh machines should be healthy")
+	}
+	if c.Healthy(-1) || c.Healthy(5) {
+		t.Fatal("out-of-range nodes reported healthy")
+	}
+	c.Isolate(2)
+	if c.Healthy(2) {
+		t.Fatal("isolated machine reported healthy")
+	}
+	c.Restore(2)
+	if !c.Healthy(2) {
+		t.Fatal("restored machine reported unhealthy")
+	}
+}
+
 func TestFaultKindMetadata(t *testing.T) {
 	for k := FaultKind(0); k < numFaultKinds; k++ {
 		if k.String() == "unknown" {

@@ -251,4 +251,5 @@ func init() {
 	})
 
 	registerCampaigns()
+	registerTenancy()
 }

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+
+	"c4/internal/scenario"
+	"c4/internal/tenancy"
+)
+
+// This file registers the multi-tenant cluster experiments under
+// "tenancy/<name>": trace-driven sweeps where several training jobs share
+// one fabric (internal/tenancy), probing the half of the paper's claim the
+// single-job figures cannot — that C4P's path steering pays off exactly
+// when concurrent jobs collide on leaf/spine links (§II-D), and that
+// topology-aware placement (§III-B) decides how much collision there is to
+// avoid. Their aggregate numbers feed the bench-regression guard.
+
+// registerTenancy is invoked from the main registration init (register.go)
+// so the tenancy family lists after the paper experiments and campaigns.
+func registerTenancy() {
+	reg := scenario.Register
+
+	reg(scenario.Scenario{
+		Name: "tenancy/collision-sweep", Group: "tenancy",
+		Description: "concurrent 4-node jobs x steering arm on the shared 2:1 fabric",
+		Paper:       "steering pays off when jobs share the fabric; ECMP collisions compound with job count",
+		Params:      map[string]string{"jobs": "1,2,4", "spines": "4", "placement": "spread"},
+		Run:         func(c *scenario.Ctx) scenario.Result { return tenancy.RunCollisionSweep(c) },
+		Summarize: func(r scenario.Result) string {
+			s := r.(*tenancy.CollisionSweepResult)
+			last := len(s.JobCounts) - 1
+			return fmt.Sprintf("C4P %+.1f%% over ECMP at %d jobs", s.Gain(last)*100, s.JobCounts[last])
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			return r.(*tenancy.CollisionSweepResult).Metrics()
+		},
+	})
+	reg(scenario.Scenario{
+		Name: "tenancy/churn", Group: "tenancy",
+		Description: "Poisson job arrivals/departures with FIFO queueing on the 1:1 fabric",
+		Paper:       "multi-tenant clusters run under constant churn; admission and departure must not corrupt survivors",
+		Params:      map[string]string{"arrivals": "poisson", "placement": "packed", "arm": "c4p"},
+		Run:         func(c *scenario.Ctx) scenario.Result { return tenancy.RunChurn(c) },
+		Summarize: func(r scenario.Result) string {
+			s := r.(*tenancy.ChurnResult)
+			return fmt.Sprintf("%d admitted, %d departed, Jain %.3f", s.Admitted, s.Completed, s.Jain)
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			return r.(*tenancy.ChurnResult).Metrics()
+		},
+	})
+	reg(scenario.Scenario{
+		Name: "tenancy/placement-compare", Group: "tenancy",
+		Description: "packed vs spread vs random placement for 3 concurrent jobs, pinned ECMP, 2:1 fabric",
+		Paper:       "topology-aware scheduling keeps ring traffic under the leaves (§III-B)",
+		Params:      map[string]string{"jobs": "3", "spines": "4", "arm": "ecmp"},
+		Run:         func(c *scenario.Ctx) scenario.Result { return tenancy.RunPlacementCompare(c) },
+		Summarize: func(r scenario.Result) string {
+			s := r.(*tenancy.PlacementCompareResult)
+			return fmt.Sprintf("packed %.1f vs spread %.1f samples/s", s.Runs[0].AggGoodput, s.Runs[1].AggGoodput)
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			return r.(*tenancy.PlacementCompareResult).Metrics()
+		},
+	})
+}

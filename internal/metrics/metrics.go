@@ -139,6 +139,24 @@ func Sum(xs []float64) float64 {
 	return s
 }
 
+// Jain reports Jain's fairness index (Σx)²/(n·Σx²) over non-negative
+// allocations: 1.0 when every tenant gets an equal share, approaching 1/n
+// when one tenant starves the rest. 0 when the input is empty or all-zero.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq <= 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
 // Stddev reports the population standard deviation (0 when len < 2).
 func Stddev(xs []float64) float64 {
 	if len(xs) < 2 {

@@ -85,6 +85,24 @@ func TestStddev(t *testing.T) {
 	}
 }
 
+func TestJain(t *testing.T) {
+	if got := Jain([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares: Jain = %v, want 1", got)
+	}
+	// One tenant hogs everything: index collapses toward 1/n.
+	if got := Jain([]float64{10, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("starved shares: Jain = %v, want 0.25", got)
+	}
+	if Jain(nil) != 0 || Jain([]float64{0, 0}) != 0 {
+		t.Fatal("empty/all-zero input should yield 0")
+	}
+	got := Jain([]float64{4, 2})
+	want := 36.0 / (2 * 20)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Jain(4,2) = %v, want %v", got, want)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(1, 10, 100)
 	for _, v := range []float64{0.5, 5, 50, 500, 5000} {

@@ -177,6 +177,15 @@ func (n *Network) StartFlow(path *topo.Path, sizeBits float64, label string, onC
 		f.admitted = true
 		n.flows = append(n.flows, f)
 		n.invalidate()
+		// A flow submitted onto an already-failed path would otherwise be
+		// admitted silently at rate zero: SetLinkUp only notifies flows that
+		// exist when the link goes down, so nothing would ever fire
+		// OnPathDown and a pinned-route sender would wait on OnComplete
+		// forever. Health is checked post-admission so the handler may
+		// Reroute or Cancel the flow like any other down-path notification.
+		if !f.done && f.OnPathDown != nil && !f.Path.Up() {
+			f.OnPathDown(f)
+		}
 	})
 	return f
 }
@@ -185,6 +194,13 @@ func (n *Network) StartFlow(path *topo.Path, sizeBits float64, label string, onC
 func (n *Network) Cancel(f *Flow) {
 	if f.done {
 		return
+	}
+	// Settle before mutating the flow set, exactly like Reroute and the
+	// SetLink* mutators: the window since lastSettle was carried by the old
+	// flow set, and removing the flow first would drop its delivered bits
+	// (and CNPs) from the per-link counters for that window.
+	if f.admitted {
+		n.settle()
 	}
 	f.done = true
 	if f.admitEv != nil {

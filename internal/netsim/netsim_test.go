@@ -339,6 +339,69 @@ func TestConservationProperty(t *testing.T) {
 	}
 }
 
+func TestStartFlowOntoDownPathNotifies(t *testing.T) {
+	eng, n := testbed()
+	// The path's spine uplink is already dead when the flow is submitted:
+	// admission must still fire OnPathDown (SetLinkUp only notifies flows
+	// that exist at failure time), so the handler can reroute instead of
+	// the flow silently stalling at rate zero forever.
+	path, _ := n.Topo.PathFor(0, 2, 0, 0, 3, 0)
+	n.SetLinkUp(path.SrcPort.Leaf.Ups[3], false)
+	var done sim.Time
+	f := n.StartFlow(path, 200e9, "x", func(*Flow) { done = eng.Now() })
+	notified := false
+	f.OnPathDown = func(fl *Flow) {
+		notified = true
+		alt, err := n.Topo.PathFor(0, 2, 0, 0, 4, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Reroute(fl, alt)
+	}
+	eng.Run()
+	if !notified {
+		t.Fatal("OnPathDown not fired for a flow admitted onto a down path")
+	}
+	if done == 0 {
+		t.Fatal("rerouted flow never completed")
+	}
+}
+
+func TestStartFlowOntoDownPathCancelInHandler(t *testing.T) {
+	eng, n := testbed()
+	path, _ := n.Topo.PathFor(0, 2, 0, 0, 3, 0)
+	n.SetLinkUp(path.SrcPort.Leaf.Ups[3], false)
+	completed := false
+	f := n.StartFlow(path, 200e9, "x", func(*Flow) { completed = true })
+	f.OnPathDown = func(fl *Flow) { n.Cancel(fl) }
+	eng.Run()
+	if completed {
+		t.Fatal("cancelled flow completed")
+	}
+	if !f.Done() || n.ActiveFlows() != 0 {
+		t.Fatalf("done=%v active=%d, want cancelled and removed", f.Done(), n.ActiveFlows())
+	}
+}
+
+func TestCancelMidWindowSettlesCarriedBits(t *testing.T) {
+	eng, n := testbed()
+	path, _ := n.Topo.PathFor(0, 2, 0, 0, 0, 0)
+	f := n.StartFlow(path, 200e9, "x", nil)
+	eng.After(500*sim.Millisecond, func() { n.Cancel(f) })
+	eng.Run()
+	// The flow ran alone at 200 Gbps from admission (BaseLatency) until the
+	// mid-window cancellation at 500 ms. Cancel must settle that window
+	// before removing the flow, or the delivered bits vanish from the
+	// per-link counters.
+	want := 200e9 * (0.5 - n.Cfg.BaseLatency.Seconds())
+	for _, l := range path.Links {
+		if got := n.CarriedBits(l); !almostEqual(got, want, 1e6) {
+			t.Fatalf("link %s carried %.6g bits after mid-window cancel, want %.6g",
+				l.Name, got, want)
+		}
+	}
+}
+
 func TestCancelFromOnCompleteSuppressesBatchmate(t *testing.T) {
 	eng, n := testbed()
 	// Two identical flows complete at the same instant; the first flow's

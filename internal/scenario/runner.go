@@ -42,21 +42,31 @@ func (r *Runner) Run(seed int64, scns []Scenario) []Report {
 	// trials) get one worker each so total concurrency stays at the
 	// scenario bound instead of squaring it; a single-scenario or
 	// explicitly serial run passes the caller's bound straight through.
-	outer := r.Workers
-	if outer <= 0 {
-		outer = runtime.GOMAXPROCS(0)
-	}
-	if outer > len(scns) {
-		outer = len(scns)
-	}
+	outer := resolveWorkers(r.Workers, len(scns))
 	nested := r.Workers
 	if outer > 1 {
 		nested = 1
 	}
-	ForEach(len(scns), r.Workers, func(i int) {
+	// ForEach receives the already-resolved bound: the nested throttle above
+	// was derived from it, and handing ForEach the raw r.Workers would let
+	// the two disagree if either clamp ever changes.
+	ForEach(len(scns), outer, func(i int) {
 		reports[i] = runOne(scns[i], seed, nested)
 	})
 	return reports
+}
+
+// resolveWorkers maps a configured worker bound (<=0 means GOMAXPROCS)
+// onto the effective pool size for n items. It is the single clamping rule
+// shared by Run's nested-throttle decision and ForEach's pool sizing.
+func resolveWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	return workers
 }
 
 // ForEach invokes fn(i) for every i in [0,n) on a bounded worker pool
@@ -65,12 +75,7 @@ func (r *Runner) Run(seed int64, scns []Scenario) []Report {
 // fault-campaign trial runner: callers own output slots by index, so
 // execution order cannot affect results.
 func ForEach(n, workers int, fn func(int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
+	workers = resolveWorkers(workers, n)
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

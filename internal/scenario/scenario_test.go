@@ -144,6 +144,60 @@ func TestRunnerCapturesPanics(t *testing.T) {
 	}
 }
 
+// TestRunnerWorkerResolution pins the worker-bound contract: Run resolves
+// one effective pool size and both the pool and the nested throttle derive
+// from it. A single-scenario Workers=0 run must pass the caller's bound
+// through to the scenario's Ctx (0 = GOMAXPROCS for any nested pool),
+// while a wide run throttles nested pools to one worker each.
+func TestRunnerWorkerResolution(t *testing.T) {
+	observe := func(name string, sink *int) Scenario {
+		return Scenario{
+			Name: name, Group: "test",
+			Run: func(c *Ctx) Result {
+				*sink = c.Workers
+				return fakeResult{text: name}
+			},
+		}
+	}
+
+	var single int
+	reps := (&Runner{Workers: 0}).Run(1, []Scenario{observe("single", &single)})
+	if len(reps) != 1 || reps[0].Err != nil {
+		t.Fatalf("single-scenario run failed: %+v", reps)
+	}
+	if single != 0 {
+		t.Fatalf("single scenario saw nested bound %d, want 0 (caller's bound passed through)", single)
+	}
+
+	nested := make([]int, 3)
+	scns := make([]Scenario, 3)
+	for i := range scns {
+		scns[i] = observe(fmt.Sprintf("wide-%d", i), &nested[i])
+	}
+	for _, rep := range (&Runner{Workers: 3}).Run(1, scns) {
+		if rep.Err != nil {
+			t.Fatalf("wide run failed: %v", rep.Err)
+		}
+	}
+	for i, w := range nested {
+		if w != 1 {
+			t.Fatalf("wide run scenario %d saw nested bound %d, want 1", i, w)
+		}
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(0, 1); got != 1 {
+		t.Fatalf("resolveWorkers(0, 1) = %d, want 1", got)
+	}
+	if got := resolveWorkers(8, 3); got != 3 {
+		t.Fatalf("resolveWorkers(8, 3) = %d, want 3", got)
+	}
+	if got := resolveWorkers(2, 5); got != 2 {
+		t.Fatalf("resolveWorkers(2, 5) = %d, want 2", got)
+	}
+}
+
 type panicShapeResult struct{}
 
 func (panicShapeResult) String() string    { return "r" }

@@ -12,8 +12,52 @@ import (
 	"fmt"
 	"sort"
 
+	"c4/internal/sim"
 	"c4/internal/topo"
 )
+
+// Policy selects how a multi-tenant scheduler maps a job onto leaf groups.
+// Packed is the topology-aware placement of §III-B; Spread is the
+// collision-prone worst case every paper benchmark uses as its baseline;
+// Random models an unaware scheduler filling whatever happens to be free.
+type Policy int
+
+const (
+	// PolicyPacked fills as few leaf groups as possible, fullest first, so
+	// ring traffic avoids the spine layer where it can.
+	PolicyPacked Policy = iota
+	// PolicySpread stripes the job round-robin across leaf groups, so
+	// every ring edge crosses the spine layer.
+	PolicySpread
+	// PolicyRandom picks uniformly among free nodes (seeded, so a given
+	// trace replays identically).
+	PolicyRandom
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyPacked:
+		return "packed"
+	case PolicySpread:
+		return "spread"
+	case PolicyRandom:
+		return "random"
+	}
+	return "unknown"
+}
+
+// Policies lists every placement policy, in comparison order.
+func Policies() []Policy { return []Policy{PolicyPacked, PolicySpread, PolicyRandom} }
+
+// ParsePolicy resolves a policy name (as printed by String).
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range Policies() {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown placement policy %q (have packed, spread, random)", s)
+}
 
 // Scheduler hands out nodes with leaf-group affinity.
 type Scheduler struct {
@@ -58,6 +102,13 @@ func (s *Scheduler) groupsByFreeCapacity() []int {
 // groups first. The returned slice is in group-major order, which is also
 // the ring order that minimizes spine crossings.
 func (s *Scheduler) Allocate(m int) ([]int, error) {
+	return s.AllocatePolicy(m, PolicyPacked, nil)
+}
+
+// AllocatePolicy picks m nodes under the given placement policy. The rand
+// source is consumed only by PolicyRandom (nil falls back to a fixed seed,
+// keeping even careless callers deterministic).
+func (s *Scheduler) AllocatePolicy(m int, pol Policy, r *sim.Rand) ([]int, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("sched: allocate %d nodes", m)
 	}
@@ -65,21 +116,96 @@ func (s *Scheduler) Allocate(m int) ([]int, error) {
 		return nil, fmt.Errorf("sched: %d nodes requested, %d free", m, s.Free())
 	}
 	var out []int
+	switch pol {
+	case PolicySpread:
+		out = s.pickSpread(m)
+	case PolicyRandom:
+		if r == nil {
+			r = sim.NewRand(1)
+		}
+		out = s.pickRandom(m, r)
+	default:
+		out = s.pickPacked(m)
+	}
+	if len(out) != m {
+		return nil, fmt.Errorf("sched: internal accounting error") // unreachable
+	}
+	for _, picked := range out {
+		s.used[picked] = true
+	}
+	return out, nil
+}
+
+// pickPacked walks groups fullest-first, draining each before moving on.
+func (s *Scheduler) pickPacked(m int) []int {
+	var out []int
 	for _, g := range s.groupsByFreeCapacity() {
-		for n := g * s.topo.Spec.NodesPerGroup; n < (g+1)*s.topo.Spec.NodesPerGroup && n < s.topo.Spec.Nodes; n++ {
-			if s.used[n] {
-				continue
-			}
+		for _, n := range s.freeInGroup(g) {
 			out = append(out, n)
 			if len(out) == m {
-				for _, picked := range out {
-					s.used[picked] = true
-				}
-				return out, nil
+				return out
 			}
 		}
 	}
-	return nil, fmt.Errorf("sched: internal accounting error") // unreachable
+	return out
+}
+
+// pickSpread takes one node per group round-robin (groups ordered by free
+// capacity descending), so consecutive ring members land in different
+// groups and every ring edge crosses the spine layer.
+func (s *Scheduler) pickSpread(m int) []int {
+	free := make([][]int, 0, s.topo.Spec.Groups())
+	for _, g := range s.groupsByFreeCapacity() {
+		if nodes := s.freeInGroup(g); len(nodes) > 0 {
+			free = append(free, nodes)
+		}
+	}
+	var out []int
+	for len(out) < m {
+		advanced := false
+		for i := range free {
+			if len(free[i]) == 0 {
+				continue
+			}
+			out = append(out, free[i][0])
+			free[i] = free[i][1:]
+			advanced = true
+			if len(out) == m {
+				return out
+			}
+		}
+		if !advanced {
+			return out
+		}
+	}
+	return out
+}
+
+// pickRandom draws m distinct free nodes uniformly from the seeded source.
+func (s *Scheduler) pickRandom(m int, r *sim.Rand) []int {
+	var free []int
+	for n := 0; n < s.topo.Spec.Nodes; n++ {
+		if !s.used[n] {
+			free = append(free, n)
+		}
+	}
+	perm := r.Perm(len(free))
+	out := make([]int, 0, m)
+	for _, i := range perm[:m] {
+		out = append(out, free[i])
+	}
+	return out
+}
+
+// freeInGroup lists the unallocated nodes of one leaf group, ascending.
+func (s *Scheduler) freeInGroup(g int) []int {
+	var out []int
+	for n := g * s.topo.Spec.NodesPerGroup; n < (g+1)*s.topo.Spec.NodesPerGroup && n < s.topo.Spec.Nodes; n++ {
+		if !s.used[n] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Release returns nodes to the pool.

@@ -106,6 +106,73 @@ func TestAllocatePrefersFullestGroups(t *testing.T) {
 	}
 }
 
+func TestAllocatePolicySpread(t *testing.T) {
+	s := New(testTopo())
+	nodes, err := s.AllocatePolicy(4, PolicySpread, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin across the two groups: consecutive ring members must
+	// alternate groups, so every ring edge crosses the spines.
+	if got := CrossGroupEdges(s.topo, nodes); got != 4 {
+		t.Fatalf("spread crossings = %d, want 4; nodes %v", got, nodes)
+	}
+	// Spread still honors usage accounting.
+	if s.Free() != 12 {
+		t.Fatalf("free = %d, want 12", s.Free())
+	}
+}
+
+func TestAllocatePolicyRandomDeterministic(t *testing.T) {
+	a := New(testTopo())
+	b := New(testTopo())
+	na, err := a.AllocatePolicy(6, PolicyRandom, sim.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := b.AllocatePolicy(6, PolicyRandom, sim.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range na {
+		if na[i] != nb[i] {
+			t.Fatalf("equal seeds diverged: %v vs %v", na, nb)
+		}
+	}
+	seen := map[int]bool{}
+	for _, n := range na {
+		if seen[n] {
+			t.Fatalf("node %d allocated twice: %v", n, na)
+		}
+		seen[n] = true
+	}
+}
+
+func TestAllocatePolicyExhaustion(t *testing.T) {
+	for _, pol := range Policies() {
+		s := New(testTopo())
+		got, err := s.AllocatePolicy(16, pol, sim.NewRand(1))
+		if err != nil || len(got) != 16 {
+			t.Fatalf("%v: full allocation failed: %v (%d nodes)", pol, err, len(got))
+		}
+		if _, err := s.AllocatePolicy(1, pol, sim.NewRand(1)); err == nil {
+			t.Fatalf("%v: over-allocation accepted", pol)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, pol := range Policies() {
+		got, err := ParsePolicy(pol.String())
+		if err != nil || got != pol {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", pol.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
 // Property: RingOrder never increases (and packed orders minimize)
 // cross-group edges relative to a random order of the same nodes.
 func TestRingOrderMinimizesCrossingsProperty(t *testing.T) {

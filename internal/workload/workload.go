@@ -8,6 +8,7 @@ package workload
 
 import (
 	"fmt"
+	"strings"
 
 	"c4/internal/sim"
 )
@@ -31,6 +32,38 @@ var (
 	// Llama13B appears in the C4P benchmark list (Table II).
 	Llama13B = Model{Name: "Llama-13B", Params: 13e9, BytesPerGrad: 2}
 )
+
+// ModelByName resolves a paper model by the short name used in arrival
+// traces and CLI flags (case-insensitive, dashes optional).
+func ModelByName(name string) (Model, bool) {
+	switch strings.ReplaceAll(strings.ToLower(name), "-", "") {
+	case "gpt22b":
+		return GPT22B, true
+	case "gpt175b":
+		return GPT175B, true
+	case "llama7b":
+		return Llama7B, true
+	case "llama13b":
+		return Llama13B, true
+	}
+	return Model{}, false
+}
+
+// TenantSpec builds the job a multi-tenant arrival describes: pure data
+// parallelism across the assigned nodes with TP8 intra-node (the paper's
+// placement — tensor parallelism never leaves the 8-GPU node), so every
+// gradient sync crosses the fabric and contends with the other tenants.
+func TenantSpec(name string, m Model, nodes []int, compute sim.Time) JobSpec {
+	return JobSpec{
+		Name:                 name,
+		Model:                m,
+		Par:                  Parallelism{TP: 8, DP: len(nodes), GA: 1},
+		Nodes:                append([]int(nil), nodes...),
+		ComputePerMicroBatch: compute,
+		ComputeJitter:        0.02,
+		SamplesPerIter:       float64(4 * len(nodes)),
+	}
+}
 
 // Parallelism is a distributed-training strategy.
 type Parallelism struct {

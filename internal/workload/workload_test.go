@@ -6,6 +6,40 @@ import (
 	"c4/internal/sim"
 )
 
+func TestModelByName(t *testing.T) {
+	for name, want := range map[string]Model{
+		"gpt22b": GPT22B, "GPT-22B": GPT22B, "gpt175b": GPT175B,
+		"llama-7b": Llama7B, "Llama13B": Llama13B,
+	} {
+		got, ok := ModelByName(name)
+		if !ok || got.Name != want.Name {
+			t.Errorf("ModelByName(%q) = %v, %v; want %v", name, got.Name, ok, want.Name)
+		}
+	}
+	if _, ok := ModelByName("gpt9000"); ok {
+		t.Error("unknown model resolved")
+	}
+}
+
+func TestTenantSpec(t *testing.T) {
+	nodes := []int{3, 1, 7, 5}
+	spec := TenantSpec("t", GPT22B, nodes, 200*sim.Millisecond)
+	groups, err := spec.DPGroups()
+	if err != nil {
+		t.Fatalf("tenant spec invalid: %v", err)
+	}
+	if len(groups) != 1 || len(groups[0]) != 4 {
+		t.Fatalf("pure-DP groups = %v", groups)
+	}
+	if spec.Par.TP != 8 || spec.Par.DP != 4 {
+		t.Fatalf("parallelism = %v, want TP8/DP4", spec.Par)
+	}
+	nodes[0] = 99 // caller's slice must not alias the spec
+	if spec.Nodes[0] == 99 {
+		t.Fatal("TenantSpec aliased the caller's node slice")
+	}
+}
+
 func TestGradBytesPerRank(t *testing.T) {
 	cases := []struct {
 		model Model
