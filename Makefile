@@ -8,8 +8,8 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check test test-race tenancy-smoke ci bench \
-	experiments bench-json bench-baseline bench-check cover clean
+.PHONY: all build vet fmt-check test test-race tenancy-smoke telemetry-smoke \
+	ci bench experiments bench-json bench-baseline bench-check cover clean
 
 all: ci
 
@@ -40,8 +40,17 @@ test-race:
 tenancy-smoke:
 	$(GO) run ./cmd/c4bench -only tenancy/churn
 
-ci: fmt-check vet build test test-race tenancy-smoke
+# The streaming-telemetry race through the registry: online detector vs
+# batch C4D on three fault archetypes, with the shape check asserting the
+# online time-to-detect strictly beats batch for every fault.
+telemetry-smoke:
+	$(GO) run ./cmd/c4bench -only online/detection-latency
 
+ci: fmt-check vet build test test-race tenancy-smoke telemetry-smoke
+
+# Microbenchmarks, including the incremental-vs-full-recompute pair
+# (internal/telemetry: BenchmarkIncrementalObserve vs
+# BenchmarkBatchAnalyzePass) behind the online/scale-sweep scenario.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
@@ -63,11 +72,16 @@ bench-check:
 	$(GO) run ./cmd/c4bench -json > BENCH_current.json
 	$(GO) run ./cmd/benchdiff -tol 0.05 bench/baseline.json BENCH_current.json
 
-# Coverage profile plus per-package and total summaries (non-blocking in
-# CI: informational, not a gate).
+# Coverage gate: the profile plus a blocking floor on total statement
+# coverage. Raise the floor when coverage improves; never lower it to
+# sneak a PR through.
+COVER_FLOOR ?= 70
 cover:
 	$(GO) test -short -covermode=atomic -coverprofile=cover.out ./...
-	@$(GO) tool cover -func=cover.out | tail -n 1
+	@total=$$($(GO) tool cover -func=cover.out | tail -n 1 | awk '{gsub(/%/,"",$$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "FAIL: coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
 
 clean:
 	$(GO) clean ./...

@@ -177,6 +177,7 @@ func writeMarkdown(w *os.File, scns []scenario.Scenario, reports []scenario.Repo
 	}
 	writeFaultModelDocs(w)
 	writeTenancyDocs(w)
+	writeOnlineDocs(w)
 	return failures
 }
 
@@ -240,6 +241,40 @@ per-node goodputs.
 
 Traces are JSON (`+"`c4sim -tenancy-trace FILE`"+`; format in README.md)
 and equal seeds replay byte-identically, serial or parallel.`)
+}
+
+// writeOnlineDocs documents the streaming-telemetry scenario family's
+// engine and knobs (internal/telemetry) in the generated experiments file.
+func writeOnlineDocs(w *os.File) {
+	fmt.Fprintln(w, `
+## Streaming telemetry scenarios
+
+The online/* scenarios race the streaming detector (internal/telemetry)
+against batch C4D on identical fault schedules: one job, one fault, both
+analysis planes fed byte-equal record streams through a single
+`+"`accl.Fanout`"+` instrumentation point. The streaming plane ingests
+records through bounded per-node ring collectors (drops accounted),
+merges them in deterministic event-time order, and folds them into
+incremental aggregates — EWMA, a fixed-bin streaming quantile sketch for
+the healthy-median baseline, O(1)-per-record delay-matrix updates — so
+detections fire the instant a threshold crosses instead of at the next
+reporting tick.
+
+- online/detection-latency: nic-degrade / straggler / spine-outage under
+  pinned routes; TimeToDetect scored against the injected ground truth
+  for both arms. The shape check requires the online detector to strictly
+  beat batch C4D on every fault.
+- online/cadence-sweep: the same fault under coarsening collector drain
+  cadences (streaming, 0.5 s, 2 s, 5 s): TTD may only grow, drain
+  overhead must fall, the default ring must not drop.
+- online/scale-sweep: healthy jobs of 2/4/8 nodes with both planes
+  attached; the batch master's delay-matrix cells per pass must grow with
+  fleet size while the streaming cost per record (state updates + loop
+  iterations on the ingest path) stays a small flat constant.
+
+Telemetry streams serialize as JSONL (`+"`c4sim -telemetry-out FILE`"+`,
+format in README.md) and replay offline through `+"`c4watch`"+`, which
+reproduces the live detections at identical virtual instants.`)
 }
 
 func escape(s string) string {

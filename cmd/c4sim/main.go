@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"c4/internal/accl"
 	"c4/internal/c4d"
 	"c4/internal/cluster"
 	"c4/internal/faults"
@@ -35,6 +36,7 @@ import (
 	"c4/internal/sched"
 	"c4/internal/sim"
 	"c4/internal/steering"
+	"c4/internal/telemetry"
 	"c4/internal/tenancy"
 	"c4/internal/topo"
 	"c4/internal/workload"
@@ -56,6 +58,8 @@ func main() {
 		campaign  = flag.String("campaign", "", "run fault-injection campaigns by short name ('all', comma-separated)")
 		cmpJSON   = flag.String("campaign-json", "", "with -campaign: also write one <name>.json report per campaign into this directory")
 		workers   = flag.Int("workers", 0, "concurrent scenarios with -scenario (0 = GOMAXPROCS)")
+		telemOut  = flag.String("telemetry-out", "", "write the run's telemetry stream as JSONL to this file (replay offline with c4watch)")
+		online    = flag.Bool("online", false, "attach the streaming online detector and log its detections live")
 		tenTrace  = flag.String("tenancy-trace", "", "replay a multi-tenant JSON arrival trace on a shared fabric (see README for the format)")
 		tenPolicy = flag.String("tenancy-policy", "packed", "with -tenancy-trace: placement policy: packed | spread | random")
 		tenSpines = flag.Int("tenancy-spines", 8, "with -tenancy-trace: spine switches per rail (8 = 1:1, 4 = 2:1)")
@@ -154,6 +158,36 @@ func main() {
 		fleet = c4d.NewFleet(env.Eng, master)
 		jobCfg.Sink = fleet
 	}
+
+	// Streaming telemetry plane: a JSONL export and/or the online detector
+	// racing batch C4D, fed from the same instrumentation point.
+	var pipe *telemetry.Pipeline
+	var streamW *telemetry.StreamWriter
+	var streamFile *os.File
+	{
+		var consumers []telemetry.Consumer
+		if *telemOut != "" {
+			f, err := os.Create(*telemOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+				os.Exit(1)
+			}
+			streamFile = f
+			streamW = telemetry.NewStreamWriter(f)
+			consumers = append(consumers, streamW)
+		}
+		if *online {
+			det := telemetry.NewOnlineDetector(env.Eng, telemetry.DetectorConfig{})
+			det.Subscribe(func(d c4d.Detection) {
+				fmt.Printf("[%12v] ONLINE: %v\n", env.Eng.Now(), d)
+			})
+			consumers = append(consumers, det)
+		}
+		if len(consumers) > 0 {
+			pipe = telemetry.NewPipeline(env.Eng, telemetry.PipelineConfig{}, consumers...)
+			jobCfg.Sink = accl.Fanout(jobCfg.Sink, pipe)
+		}
+	}
 	j, err := job.New(jobCfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
@@ -229,6 +263,18 @@ func main() {
 	env.Eng.RunUntil(sim.FromDuration(*horizon))
 	if fleet != nil {
 		fleet.Stop()
+	}
+	if pipe != nil {
+		pipe.Stop()
+		if streamW != nil {
+			if err := streamW.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "c4sim: writing telemetry stream: %v\n", err)
+				os.Exit(1)
+			}
+			streamFile.Close()
+			logf("telemetry: %d records written to %s (%d dropped)",
+				streamW.Written(), *telemOut, pipe.Dropped())
+		}
 	}
 
 	iters := j.IterTimes()

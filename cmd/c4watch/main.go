@@ -1,0 +1,121 @@
+// Command c4watch replays a telemetry JSONL stream (written by
+// `c4sim -telemetry-out` or any telemetry.StreamWriter) through the
+// streaming online detector for offline triage: the same detections the
+// live pipeline would have fired, at the same virtual instants, plus
+// stream statistics.
+//
+// Examples:
+//
+//	c4watch -stream run.jsonl             # replay, print detections
+//	c4watch -stream run.jsonl -summary    # add per-kind/bandwidth stats
+//	c4watch -stream run.jsonl -tail 60s   # let trailing hang timeouts ripen
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"c4/internal/sim"
+	"c4/internal/telemetry"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout)) }
+
+// run is the testable entry point.
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("c4watch", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		stream  = fs.String("stream", "", "telemetry JSONL stream file (required)")
+		tail    = fs.Duration("tail", 0, "virtual time to run past the last record so trailing hang timeouts can ripen (0 = an ended capture is not a hang)")
+		hangT   = fs.Duration("hang-timeout", 30*time.Second, "silence span before a hang verdict")
+		kappa   = fs.Float64("kappa", 2, "slowdown multiple considered anomalous")
+		summary = fs.Bool("summary", false, "print stream statistics after the detections")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *stream == "" {
+		fmt.Fprintln(out, "c4watch: -stream FILE is required")
+		return 2
+	}
+	f, err := os.Open(*stream)
+	if err != nil {
+		fmt.Fprintf(out, "c4watch: %v\n", err)
+		return 2
+	}
+	defer f.Close()
+	records, err := telemetry.ReadStream(f)
+	if err != nil {
+		fmt.Fprintf(out, "c4watch: %v\n", err)
+		return 2
+	}
+	if len(records) == 0 {
+		fmt.Fprintln(out, "c4watch: stream is empty")
+		return 1
+	}
+
+	det := telemetry.Replay(records, telemetry.DetectorConfig{
+		HangTimeout: sim.FromDuration(*hangT),
+		Kappa:       *kappa,
+	}, sim.FromDuration(*tail))
+
+	span := records[len(records)-1].Time - records[0].Time
+	fmt.Fprintf(out, "replayed %d records spanning %v\n", len(records), span)
+	dets := det.Detections()
+	if len(dets) == 0 {
+		fmt.Fprintln(out, "no detections")
+	}
+	for _, d := range dets {
+		fmt.Fprintf(out, "DETECT %v\n", d)
+	}
+	if *summary {
+		printSummary(out, records)
+	}
+	return 0
+}
+
+// printSummary renders per-kind counts, participating nodes, and a
+// bandwidth profile of the transport records (via the same streaming
+// quantile sketch the detector thresholds against).
+func printSummary(out io.Writer, records []telemetry.Record) {
+	kinds := map[telemetry.Kind]int{}
+	nodes := map[int]bool{}
+	comms := map[int]bool{}
+	sketch := telemetry.NewQuantileSketch(0.01, 10000, 256)
+	var waitTotal sim.Time
+	for _, r := range records {
+		kinds[r.Kind]++
+		comms[r.Comm] = true
+		if r.Node >= 0 {
+			nodes[r.Node] = true
+		}
+		switch {
+		case r.Kind == telemetry.KindMsg && r.Msg != nil:
+			if dur := r.Msg.Duration(); dur > 0 {
+				sketch.Observe(r.Msg.Bytes * 8 / dur.Seconds() / 1e9)
+			}
+		case r.Kind == telemetry.KindWait && r.Wait != nil:
+			waitTotal += r.Wait.Dur
+		}
+	}
+	fmt.Fprintf(out, "---\nstream summary: %d nodes, %d communicators\n", len(nodes), len(comms))
+	for _, k := range []telemetry.Kind{
+		telemetry.KindCommCreate, telemetry.KindCommClose,
+		telemetry.KindColl, telemetry.KindMsg, telemetry.KindWait,
+	} {
+		if kinds[k] > 0 {
+			fmt.Fprintf(out, "  %-12s %d\n", k, kinds[k])
+		}
+	}
+	if sketch.Count() > 0 {
+		fmt.Fprintf(out, "  msg bandwidth p10/p50/p90: %.1f / %.1f / %.1f Gbps\n",
+			sketch.Quantile(0.1), sketch.Quantile(0.5), sketch.Quantile(0.9))
+	}
+	if waitTotal > 0 {
+		fmt.Fprintf(out, "  receiver-driven wait total: %v\n", waitTotal)
+	}
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"c4/internal/accl"
+	"c4/internal/sim"
+	"c4/internal/telemetry"
+)
+
+// writeStream captures a tiny hand-built stream: one communicator, a
+// healthy warmup, then one pair collapsing to 1/8 bandwidth — enough for
+// the replayed detector to fire a comm-slow detection.
+func writeStream(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := telemetry.NewStreamWriter(f)
+	w.Observe(telemetry.Record{Time: 0, Node: -1, Kind: telemetry.KindCommCreate,
+		Comm: 1, Nodes: []int{0, 1, 2, 3}})
+	at := sim.Second
+	emit := func(src, dst int, dur sim.Time) {
+		w.Observe(telemetry.RecordOfMsg(accl.MsgEvent{
+			Comm: 1, Seq: 1, SrcNode: src, DstNode: dst,
+			Bytes: 1e9 / 8, Start: at, End: at + dur,
+		}))
+		at += dur
+	}
+	// Healthy: every ring edge moves 1 Gbit in 10 ms = 100 Gbps.
+	for round := 0; round < 10; round++ {
+		for n := 0; n < 4; n++ {
+			emit(n, (n+1)%4, 10*sim.Millisecond)
+		}
+	}
+	// Pair 1->2 degrades 8x.
+	for round := 0; round < 10; round++ {
+		emit(1, 2, 80*sim.Millisecond)
+		emit(0, 1, 10*sim.Millisecond)
+		emit(2, 3, 10*sim.Millisecond)
+		emit(3, 0, 10*sim.Millisecond)
+	}
+	w.Observe(telemetry.Record{Time: at, Node: -1, Kind: telemetry.KindCommClose, Comm: 1})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReplaysAndDetects(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	writeStream(t, path)
+	var out bytes.Buffer
+	if code := run([]string{"-stream", path, "-summary"}, &out); code != 0 {
+		t.Fatalf("run = %d\n%s", code, out.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "DETECT") || !strings.Contains(got, "comm-slow") {
+		t.Fatalf("no comm-slow detection in output:\n%s", got)
+	}
+	if !strings.Contains(got, "stream summary") || !strings.Contains(got, "msg bandwidth") {
+		t.Fatalf("summary missing:\n%s", got)
+	}
+}
+
+func TestRunBadInputs(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(nil, &out); code != 2 {
+		t.Fatalf("missing -stream: code %d, want 2", code)
+	}
+	if code := run([]string{"-stream", "/no/such/file.jsonl"}, &out); code != 2 {
+		t.Fatalf("missing file: code %d, want 2", code)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-stream", empty}, &out); code != 1 {
+		t.Fatalf("empty stream: code %d, want 1", code)
+	}
+	garbage := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(garbage, []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{"-stream", garbage}, &out); code != 2 {
+		t.Fatalf("garbage stream: code %d, want 2", code)
+	}
+}
+
+func TestRunQuietStream(t *testing.T) {
+	// A healthy stream replays without detections.
+	path := filepath.Join(t.TempDir(), "quiet.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := telemetry.NewStreamWriter(f)
+	w.Observe(telemetry.Record{Time: 0, Node: -1, Kind: telemetry.KindCommCreate,
+		Comm: 1, Nodes: []int{0, 1}})
+	for i := 0; i < 50; i++ {
+		w.Observe(telemetry.RecordOfMsg(accl.MsgEvent{
+			Comm: 1, Seq: 1, SrcNode: i % 2, DstNode: (i + 1) % 2,
+			Bytes: 1e9 / 8, Start: sim.Time(i) * sim.Second, End: sim.Time(i)*sim.Second + 10*sim.Millisecond,
+		}))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if code := run([]string{"-stream", path}, &out); code != 0 {
+		t.Fatalf("run = %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no detections") {
+		t.Fatalf("quiet stream output:\n%s", out.String())
+	}
+}

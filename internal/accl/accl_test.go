@@ -466,3 +466,40 @@ func TestMultiRailStripingScalesThroughput(t *testing.T) {
 		}
 	}
 }
+
+func TestFanoutDeliversToEverySink(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	sink := Fanout(a, nil, b)
+	sink.OnCommCreate(CommInfo{Comm: 1, Nodes: []int{0, 1}})
+	sink.OnCollective(CollEvent{Comm: 1, Node: 0})
+	sink.OnMessage(MsgEvent{Comm: 1, SrcNode: 0, DstNode: 1, Bytes: 8})
+	sink.OnWait(WaitEvent{Comm: 1, Waiter: 1, On: 0})
+	sink.OnCommClose(1)
+	for i, rec := range []*Recorder{a, b} {
+		if len(rec.Comms) != 1 || len(rec.Collectives) != 1 ||
+			len(rec.Messages) != 1 || len(rec.Waits) != 1 || len(rec.Closed) != 1 {
+			t.Fatalf("sink %d missed records: %+v", i, rec)
+		}
+	}
+	// A single non-nil sink is returned unwrapped (no fan-out overhead).
+	if got := Fanout(nil, a); got != StatsSink(a) {
+		t.Fatalf("Fanout(nil, a) = %T, want the sink itself", got)
+	}
+}
+
+func TestFanoutDrivesTwoLiveSinks(t *testing.T) {
+	// End to end: one communicator, two recorders, byte-identical streams.
+	h := newHarness()
+	other := &Recorder{}
+	c := h.comm(t, Config{Sink: Fanout(h.rec, other)}, []int{0, 2})
+	c.AllReduce(64*MiB, nil, nil)
+	h.eng.Run()
+	if len(h.rec.Messages) == 0 || len(h.rec.Messages) != len(other.Messages) {
+		t.Fatalf("fanout diverged: %d vs %d messages", len(h.rec.Messages), len(other.Messages))
+	}
+	for i := range h.rec.Messages {
+		if h.rec.Messages[i] != other.Messages[i] {
+			t.Fatalf("message %d diverged: %+v vs %+v", i, h.rec.Messages[i], other.Messages[i])
+		}
+	}
+}

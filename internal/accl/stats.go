@@ -106,6 +106,61 @@ func (NullSink) OnMessage(MsgEvent) {}
 // OnWait implements StatsSink.
 func (NullSink) OnWait(WaitEvent) {}
 
+// fanoutSink forwards every record to each member in order.
+type fanoutSink []StatsSink
+
+// Fanout returns a StatsSink that forwards every record to each sink in
+// order (nil sinks are dropped). It is the single instrumentation point
+// that lets one communicator feed several monitoring pipelines at once —
+// the batch C4D agent fleet and the streaming telemetry pipeline racing it.
+func Fanout(sinks ...StatsSink) StatsSink {
+	kept := make(fanoutSink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == 1 {
+		return kept[0]
+	}
+	return kept
+}
+
+// OnCommCreate implements StatsSink.
+func (f fanoutSink) OnCommCreate(ci CommInfo) {
+	for _, s := range f {
+		s.OnCommCreate(ci)
+	}
+}
+
+// OnCommClose implements StatsSink.
+func (f fanoutSink) OnCommClose(comm int) {
+	for _, s := range f {
+		s.OnCommClose(comm)
+	}
+}
+
+// OnCollective implements StatsSink.
+func (f fanoutSink) OnCollective(ev CollEvent) {
+	for _, s := range f {
+		s.OnCollective(ev)
+	}
+}
+
+// OnMessage implements StatsSink.
+func (f fanoutSink) OnMessage(ev MsgEvent) {
+	for _, s := range f {
+		s.OnMessage(ev)
+	}
+}
+
+// OnWait implements StatsSink.
+func (f fanoutSink) OnWait(ev WaitEvent) {
+	for _, s := range f {
+		s.OnWait(ev)
+	}
+}
+
 // Recorder is an in-memory StatsSink used by tests and by the C4 agent.
 type Recorder struct {
 	Comms       []CommInfo

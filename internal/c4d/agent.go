@@ -37,25 +37,41 @@ func (a *Agent) flush() Report {
 // periodic reporting loop. It implements accl.StatsSink, so it plugs
 // directly into a Communicator's Config.Sink.
 type Fleet struct {
-	Master *Master
-	agents map[int]*Agent
-	eng    *sim.Engine
-	ticker *sim.Event
+	det      Detector
+	interval sim.Time
+	agents   map[int]*Agent
+	eng      *sim.Engine
+	ticker   *sim.Event
+	skipped  int
 }
 
-// NewFleet creates the agent fleet and starts the reporting ticker.
+// NewFleet creates the agent fleet reporting to the batch master and
+// starts the reporting ticker.
 func NewFleet(eng *sim.Engine, master *Master) *Fleet {
-	f := &Fleet{Master: master, agents: make(map[int]*Agent), eng: eng}
+	return NewFleetDetector(eng, master, master.cfg.ReportInterval)
+}
+
+// NewFleetDetector creates a fleet reporting to any Detector on the given
+// interval (<= 0 falls back to the default reporting interval).
+func NewFleetDetector(eng *sim.Engine, det Detector, interval sim.Time) *Fleet {
+	if interval <= 0 {
+		interval = DefaultConfig().ReportInterval
+	}
+	f := &Fleet{det: det, interval: interval, agents: make(map[int]*Agent), eng: eng}
 	f.scheduleTick()
 	return f
 }
 
 func (f *Fleet) scheduleTick() {
-	f.ticker = f.eng.After(f.Master.cfg.ReportInterval, func() {
+	f.ticker = f.eng.After(f.interval, func() {
 		f.reportAll()
 		f.scheduleTick()
 	})
 }
+
+// SkippedPasses reports how many reporting ticks were elided because every
+// agent was empty and the detector held no ripening evidence.
+func (f *Fleet) SkippedPasses() int { return f.skipped }
 
 // Stop halts the reporting loop.
 func (f *Fleet) Stop() {
@@ -74,17 +90,29 @@ func (f *Fleet) agent(node int) *Agent {
 }
 
 // reportAll flushes every agent to the master in deterministic order, then
-// triggers one analysis pass.
+// triggers one analysis pass. A tick where every agent flushed zero
+// records AND the detector holds no evidence that could ripen (Active is
+// false) is skipped outright: before the job's first collective and after
+// its communicators close, a full Analyze pass per tick is pure overhead.
+// A hang produces no records either, but its communicator was seen before
+// falling silent, so Active stays true and the timeout detectors keep
+// running.
 func (f *Fleet) reportAll() {
 	nodes := make([]int, 0, len(f.agents))
-	for n := range f.agents {
+	records := 0
+	for n, a := range f.agents {
 		nodes = append(nodes, n)
+		records += len(a.msgs) + len(a.colls) + len(a.waits)
+	}
+	if records == 0 && !f.det.Active() {
+		f.skipped++
+		return
 	}
 	sort.Ints(nodes)
 	for _, n := range nodes {
-		f.Master.Ingest(f.agents[n].flush())
+		f.det.Ingest(f.agents[n].flush())
 	}
-	f.Master.Analyze(f.eng.Now())
+	f.det.Analyze(f.eng.Now())
 }
 
 // OnCommCreate implements accl.StatsSink.
@@ -92,12 +120,12 @@ func (f *Fleet) OnCommCreate(ci accl.CommInfo) {
 	for _, n := range ci.Nodes {
 		f.agent(n) // ensure agents exist for all members
 	}
-	f.Master.RegisterComm(ci)
+	f.det.RegisterComm(ci)
 }
 
 // OnCommClose implements accl.StatsSink.
 func (f *Fleet) OnCommClose(comm int) {
-	f.Master.UnregisterComm(comm)
+	f.det.UnregisterComm(comm)
 }
 
 // OnCollective implements accl.StatsSink.

@@ -268,6 +268,95 @@ func TestMasterConfigDefaults(t *testing.T) {
 	}
 }
 
+// countingDetector wraps a Master, counting interface calls, to pin the
+// fleet's skip behavior without peeking at master internals.
+type countingDetector struct {
+	*Master
+	ingests, analyzes int
+}
+
+func (c *countingDetector) Ingest(r Report)      { c.ingests++; c.Master.Ingest(r) }
+func (c *countingDetector) Analyze(now sim.Time) { c.analyzes++; c.Master.Analyze(now) }
+
+// TestFleetSkipsEmptyPasses is the regression test for the batch hot-path
+// fix: a fleet whose agents flushed zero records and whose detector never
+// saw any evidence must not run a full analysis pass every tick.
+func TestFleetSkipsEmptyPasses(t *testing.T) {
+	eng := sim.NewEngine()
+	det := &countingDetector{Master: NewMaster(Config{})}
+	fleet := NewFleetDetector(eng, det, 0)
+	// Register a communicator but never run traffic: the idle head of a
+	// deployment (job not started yet).
+	fleet.OnCommCreate(accl.CommInfo{Comm: 1, Nodes: []int{0, 1}})
+	eng.RunFor(60 * sim.Second)
+	if det.analyzes != 0 || det.ingests != 0 {
+		t.Fatalf("idle fleet ran %d analyzes / %d ingests, want 0/0", det.analyzes, det.ingests)
+	}
+	if fleet.SkippedPasses() == 0 {
+		t.Fatal("no passes recorded as skipped")
+	}
+	fleet.Stop()
+}
+
+// TestFleetKeepsAnalyzingThroughSilence proves the skip cannot mask a
+// hang: once a communicator has been seen, silent ticks still analyze, so
+// the hang-timeout detectors fire exactly as before the optimization.
+func TestFleetKeepsAnalyzingThroughSilence(t *testing.T) {
+	r := newRig(t, Config{})
+	r.eng.Schedule(20*sim.Second, func() { r.comm.SetCrashed(4, true) })
+	r.run(3 * sim.Minute)
+	if ev := findEvent(r.master.Events(), NonCommHang, 4); ev == nil {
+		t.Fatalf("hang not detected with empty-pass skip in place; events: %v", r.master.Events())
+	}
+	if r.master.AnalyzePasses() == 0 {
+		t.Fatal("no analysis passes ran")
+	}
+}
+
+// TestFleetSkipResumesAfterClose covers the idle tail: closing the last
+// communicator drops its state, so post-job ticks skip again.
+func TestFleetSkipResumesAfterClose(t *testing.T) {
+	r := newRig(t, Config{})
+	r.run(30 * sim.Second)
+	if r.master.AnalyzePasses() == 0 {
+		t.Fatal("active run analyzed nothing")
+	}
+	r.stopped = true
+	r.comm.Close()
+	// The next tick may still drain records buffered before the close;
+	// let it pass, then the deployment must go quiet.
+	r.eng.RunFor(6 * sim.Second)
+	passes := r.master.AnalyzePasses()
+	before := r.fleet.SkippedPasses()
+	r.eng.RunFor(60 * sim.Second)
+	if r.master.AnalyzePasses() != passes {
+		t.Fatalf("closed deployment still analyzing: %d -> %d passes", passes, r.master.AnalyzePasses())
+	}
+	if r.fleet.SkippedPasses() <= before {
+		t.Fatal("post-close ticks not skipped")
+	}
+}
+
+func TestEventDetectionConversion(t *testing.T) {
+	conn := Event{Time: 3 * sim.Second, Comm: 7, Syndrome: CommSlow,
+		Scope: ScopeConnection, Node: 1, Peer: 4, Severity: 2.5}
+	d := conn.Detection()
+	if d.At != conn.Time || d.Comm != 7 || len(d.Suspects) != 2 ||
+		d.Suspects[0] != 1 || d.Suspects[1] != 4 {
+		t.Fatalf("connection conversion = %+v", d)
+	}
+	node := Event{Syndrome: NonCommHang, Scope: ScopeNode, Node: 9, Peer: -1}
+	if d := node.Detection(); len(d.Suspects) != 1 || d.Suspects[0] != 9 {
+		t.Fatalf("node conversion = %+v", d)
+	}
+	if got := Detections([]Event{conn, node}); len(got) != 2 {
+		t.Fatalf("Detections = %v", got)
+	}
+	if (Detection{Syndrome: CommHang, Suspects: []int{3}}).String() == "" {
+		t.Fatal("empty Detection rendering")
+	}
+}
+
 func TestSubscribeDeliversEvents(t *testing.T) {
 	r := newRig(t, Config{})
 	var got []Event

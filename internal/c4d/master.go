@@ -87,6 +87,10 @@ type pairAgg struct {
 type commState struct {
 	nodes []int
 
+	// seen flips once any record lands for this communicator; it is what
+	// Active() (and hence the fleet's empty-pass skip) keys on.
+	seen bool
+
 	// Hang tracking.
 	arriveSeq   map[int]int      // node -> highest seq with an observed kernel launch
 	completeSeq map[int]int      // node -> highest completed seq
@@ -115,6 +119,12 @@ type Master struct {
 	handlers []func(Event)
 	events   []Event
 	lastFire map[string]sim.Time
+
+	// Work accounting: full-recompute analysis passes and delay-matrix
+	// cells visited across them. The telemetry scale sweep compares these
+	// against the streaming detector's O(1)-per-record updates.
+	passes     int
+	cellVisits int
 }
 
 // NewMaster creates a master with the given (defaulted) config.
@@ -158,6 +168,29 @@ func (m *Master) UnregisterComm(comm int) {
 	delete(m.comms, comm)
 }
 
+// Active implements Detector: true while any registered communicator has
+// ever produced a record. A silent-but-seen communicator may be hanging —
+// its timeout detectors must keep running on records ingested windows ago
+// — whereas a deployment that never saw a record cannot ripen into any
+// finding, so analysis passes over it are pure waste.
+func (m *Master) Active() bool {
+	for _, cs := range m.comms {
+		if cs.seen {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzePasses reports how many full analysis passes have run.
+func (m *Master) AnalyzePasses() int { return m.passes }
+
+// MatrixCellVisits reports how many delay-matrix cells the comm-slow
+// detector has recomputed across all passes — the batch analyzer's work
+// metric, which grows with fleet size per pass where the streaming
+// detector pays O(1) per record.
+func (m *Master) MatrixCellVisits() int { return m.cellVisits }
+
 // Ingest absorbs one agent report into the per-communicator state.
 func (m *Master) Ingest(r Report) {
 	for _, ev := range r.Colls {
@@ -165,6 +198,7 @@ func (m *Master) Ingest(r Report) {
 		if cs == nil {
 			continue
 		}
+		cs.seen = true
 		switch ev.Phase {
 		case accl.PhaseArrive:
 			if ev.Seq > cs.arriveSeq[ev.Node] {
@@ -184,6 +218,7 @@ func (m *Master) Ingest(r Report) {
 		if cs == nil {
 			continue
 		}
+		cs.seen = true
 		key := [2]int{ev.SrcNode, ev.DstNode}
 		agg := cs.pairs[key]
 		if agg == nil {
@@ -216,6 +251,7 @@ func (m *Master) Ingest(r Report) {
 		if cs == nil {
 			continue
 		}
+		cs.seen = true
 		cs.waits[ev.On] += ev.Dur
 	}
 }
@@ -223,6 +259,7 @@ func (m *Master) Ingest(r Report) {
 // Analyze runs all detectors over the just-ingested window and resets the
 // window accumulators.
 func (m *Master) Analyze(now sim.Time) {
+	m.passes++
 	ids := make([]int, 0, len(m.comms))
 	for id := range m.comms {
 		ids = append(ids, id)
@@ -340,6 +377,7 @@ func (m *Master) detectHangs(now sim.Time, comm int, cs *commState) {
 // detectCommSlow builds the Fig 7 delay matrix from the window's transport
 // records and localizes slow cells, rows and columns.
 func (m *Master) detectCommSlow(now sim.Time, comm int, cs *commState) {
+	m.cellVisits += len(cs.pairs)
 	if len(cs.pairs) < 2 {
 		return
 	}

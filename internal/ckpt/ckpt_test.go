@@ -107,6 +107,86 @@ func TestDefaults(t *testing.T) {
 	}
 }
 
+// TestPersistEveryOne: the paranoid regime where every snapshot flushes
+// to remote storage. Each save must start a flush, and once the flushes
+// complete, the newest snapshot survives losing every in-memory holder.
+func TestPersistEveryOne(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewManager(eng, Config{Interval: 2, PersistEvery: 1, PersistTime: sim.Second, Replicas: 1})
+	for i := 1; i <= 10; i++ {
+		m.OnIteration(i, []int{5})
+		eng.RunFor(10 * sim.Second) // let each flush complete
+	}
+	if m.Saves() != 5 {
+		t.Fatalf("saves = %d, want 5", m.Saves())
+	}
+	if m.persisted != 5 {
+		t.Fatalf("persisted = %d, want every snapshot flushed", m.persisted)
+	}
+	// Sole holder dies: the newest snapshot must still restore, persisted.
+	s, ok := m.Restore(5)
+	if !ok || !s.Persisted || s.Iteration != 10 {
+		t.Fatalf("restore = %+v ok=%v, want persisted iter 10", s, ok)
+	}
+	if got := m.LostIterations(11, 5); got != 1 {
+		t.Fatalf("lost = %d, want 1", got)
+	}
+}
+
+// TestFailureDestroysBothReplicas: degenerate replica placement puts both
+// in-memory copies on the same node (self twice); losing that node must
+// fall back to the last *completed* persistent flush, skipping the newer
+// in-memory-only and still-flushing snapshots.
+func TestFailureDestroysBothReplicas(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewManager(eng, Config{
+		Interval: 5, PersistEvery: 2, PersistTime: 20 * sim.Second, Replicas: 2,
+	})
+	// Snapshots at iters 5,10,15,20; flushes start after 10 and 20.
+	for i := 1; i <= 20; i++ {
+		m.OnIteration(i, []int{4, 4}) // both replicas on node 4
+		eng.RunFor(2 * sim.Second)
+	}
+	// 40 s in: the iter-10 flush (armed at 20 s, +20 s) completed; the
+	// iter-20 flush (armed at 40 s) has not.
+	s, ok := m.Restore(4)
+	if !ok {
+		t.Fatal("expected the completed persistent flush to survive")
+	}
+	if !s.Persisted || s.Iteration != 10 {
+		t.Fatalf("restore = %+v, want persisted iter 10 (iter-20 flush still in flight)", s)
+	}
+	if got := m.LostIterations(22, 4); got != 12 {
+		t.Fatalf("lost = %d, want 12", got)
+	}
+	// The same failure with no persistence loses everything.
+	eng2 := sim.NewEngine()
+	m2 := NewManager(eng2, Config{Interval: 5, PersistEvery: 0})
+	for i := 1; i <= 20; i++ {
+		m2.OnIteration(i, []int{4, 4})
+	}
+	if _, ok := m2.Restore(4); ok {
+		t.Fatal("dual-replica loss with no persistence must restore nothing")
+	}
+}
+
+// TestConfigEdgeDefaults pins the withDefaults corners the other tests
+// skip: negative stall clamps to zero, negative PersistEvery disables
+// persistence instead of wrapping.
+func TestConfigEdgeDefaults(t *testing.T) {
+	m := NewManager(sim.NewEngine(), Config{Interval: 1, SaveStall: -sim.Second, PersistEvery: -3})
+	cfg := m.Config()
+	if cfg.SaveStall != 0 {
+		t.Fatalf("SaveStall = %v, want clamped to 0", cfg.SaveStall)
+	}
+	if cfg.PersistEvery != 0 {
+		t.Fatalf("PersistEvery = %d, want 0 (disabled)", cfg.PersistEvery)
+	}
+	if d := m.OnIteration(1, []int{0}); d != 0 {
+		t.Fatalf("stall = %v with clamped SaveStall", d)
+	}
+}
+
 // Property: lost work never exceeds the checkpoint interval plus the
 // persistence lag when a surviving holder exists.
 func TestBoundedLossProperty(t *testing.T) {

@@ -271,10 +271,8 @@ func RunTrial(tr Trial, seed int64, horizon sim.Time) TrialResult {
 		BaseIters: base.iters, SteeredIters: steered.iters,
 		Events: base.fired + steered.fired,
 	}
-	if horizon > 0 {
-		out.BaseGoodput = float64(base.iters) * samplesPerIter / horizon.Seconds()
-		out.SteeredGoodput = float64(steered.iters) * samplesPerIter / horizon.Seconds()
-	}
+	out.BaseGoodput = metrics.Ratio(float64(base.iters)*samplesPerIter, horizon.Seconds())
+	out.SteeredGoodput = metrics.Ratio(float64(steered.iters)*samplesPerIter, horizon.Seconds())
 	return out
 }
 

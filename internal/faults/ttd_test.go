@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"c4/internal/c4d"
+	"c4/internal/sim"
+)
+
+func ttdTruth(node int, start, dur sim.Time, impact []int) GroundTruth {
+	return GroundTruth{
+		Spec:   Spec{Kind: NICDegrade, Node: node, Severity: 0.5, Start: start, Duration: dur},
+		Impact: impact,
+	}
+}
+
+func TestScoreTTDBasics(t *testing.T) {
+	truths := []GroundTruth{
+		ttdTruth(3, 10*sim.Second, 40*sim.Second, []int{3}),
+		ttdTruth(9, 10*sim.Second, 40*sim.Second, nil), // irrelevant: no impact
+	}
+	dets := []c4d.Detection{
+		// Early but blames an innocent alongside the victim: detects, does
+		// not localize.
+		{At: 12 * sim.Second, Syndrome: c4d.CommSlow, Suspects: []int{3, 5}},
+		// Later but precise: sets TimeToLocalize.
+		{At: 20 * sim.Second, Syndrome: c4d.CommSlow, Suspects: []int{3}},
+		// Unrelated: false alarm.
+		{At: 25 * sim.Second, Syndrome: c4d.NonCommSlow, Suspects: []int{7}},
+		// Outside the window + grace: false alarm.
+		{At: 200 * sim.Second, Syndrome: c4d.CommSlow, Suspects: []int{3}},
+	}
+	rep := ScoreTTD(dets, truths)
+	if len(rep.Faults) != 1 {
+		t.Fatalf("relevant faults = %d, want 1 (irrelevant truths excluded)", len(rep.Faults))
+	}
+	f := rep.Faults[0]
+	if !f.Detected || f.TimeToDetect != 2*sim.Second {
+		t.Fatalf("TTD = %+v, want detected at +2s", f)
+	}
+	if !f.Localized || f.TimeToLocalize != 10*sim.Second {
+		t.Fatalf("TTL = %+v, want localized at +10s", f)
+	}
+	if rep.FalseAlarms != 2 {
+		t.Fatalf("false alarms = %d, want 2", rep.FalseAlarms)
+	}
+	if rep.MeanTTDSeconds() != 2 || rep.MeanTTLSeconds() != 10 {
+		t.Fatalf("means = %.1f/%.1f, want 2/10", rep.MeanTTDSeconds(), rep.MeanTTLSeconds())
+	}
+	out := rep.String()
+	if !strings.Contains(out, "1/1 faults detected") || !strings.Contains(out, "2 false alarms") {
+		t.Fatalf("rendering = %q", out)
+	}
+}
+
+func TestScoreTTDMissedFaultAndEmptyStream(t *testing.T) {
+	truths := []GroundTruth{ttdTruth(3, 10*sim.Second, 40*sim.Second, []int{3})}
+	rep := ScoreTTD(nil, truths)
+	if rep.DetectedCount() != 0 || rep.FalseAlarms != 0 {
+		t.Fatalf("empty stream scored %+v", rep)
+	}
+	// Guard: means over zero detections must be 0, not NaN.
+	if rep.MeanTTDSeconds() != 0 || rep.MeanTTLSeconds() != 0 {
+		t.Fatalf("means on empty stream = %v/%v", rep.MeanTTDSeconds(), rep.MeanTTLSeconds())
+	}
+	if !strings.Contains(rep.String(), "MISSED") {
+		t.Fatalf("missed fault not rendered: %q", rep.String())
+	}
+}
+
+func TestScoreTTDEarliestDetectionWins(t *testing.T) {
+	truths := []GroundTruth{ttdTruth(3, 10*sim.Second, 40*sim.Second, []int{3})}
+	dets := []c4d.Detection{
+		{At: 30 * sim.Second, Suspects: []int{3}},
+		{At: 11 * sim.Second, Suspects: []int{3}}, // out of order, earlier
+	}
+	rep := ScoreTTD(dets, truths)
+	if rep.Faults[0].TimeToDetect != sim.Second {
+		t.Fatalf("TTD = %v, want 1s (earliest match)", rep.Faults[0].TimeToDetect)
+	}
+	// A detection with no suspects can never localize.
+	rep = ScoreTTD([]c4d.Detection{{At: 11 * sim.Second, Suspects: nil}}, truths)
+	if rep.FalseAlarms != 1 || rep.Faults[0].Detected {
+		t.Fatalf("suspect-free detection scored %+v", rep)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"c4/internal/scenario"
+	"c4/internal/telemetry"
 	"c4/internal/topo"
 )
 
@@ -119,6 +120,27 @@ var extraChecks = map[string]func(*testing.T, scenario.Result){
 			t.Fatalf("dynamic/static post-failure ratio too small:\n%s", f)
 		}
 	},
+	// The tentpole claim of the streaming subsystem, asserted beyond the
+	// shape check: every fault kind must be detected online strictly
+	// before the batch master, by a real margin on the slow syndromes.
+	"online/detection-latency": func(t *testing.T, r scenario.Result) {
+		res := r.(*telemetry.DetectionLatencyResult)
+		if len(res.Trials) != 3 {
+			t.Fatalf("trials = %d, want 3", len(res.Trials))
+		}
+		for _, tr := range res.Trials {
+			if s := tr.Speedup(); s <= 1 {
+				t.Fatalf("%s: online speedup %.2fx, want > 1x", tr.Kind, s)
+			}
+			if tr.Kind != "spine-outage" && tr.Speedup() < 2 {
+				t.Fatalf("%s: sub-tick detection should beat the 5s window handily, got %.2fx",
+					tr.Kind, tr.Speedup())
+			}
+			if tr.OnlineFalseAlarms != 0 {
+				t.Fatalf("%s: %d online false alarms", tr.Kind, tr.OnlineFalseAlarms)
+			}
+		}
+	},
 }
 
 // TestRunnerStats checks the runner's per-scenario accounting on a real
@@ -150,6 +172,7 @@ func TestRegistryCoversHarness(t *testing.T) {
 		"ablation-plane", "ablation-algo", "ablation-ckpt", "ablation-kappa",
 		"ablation-qp", "campaign/flap-sweep", "campaign/degrade-sweep",
 		"campaign/outage-sweep", "campaign/straggler-sweep", "campaign/mixed",
+		"online/detection-latency", "online/cadence-sweep", "online/scale-sweep",
 	} {
 		if _, ok := scenario.Get(name); !ok {
 			t.Errorf("scenario %q not registered", name)

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"fmt"
+
+	"c4/internal/scenario"
+	"c4/internal/telemetry"
+)
+
+// This file registers the streaming-telemetry experiments under
+// "online/<name>": the online detector (internal/telemetry) racing batch
+// C4D on identical fault schedules through one fan-out instrumentation
+// point. They probe the paper's headline direction — detection latency
+// shrunk from the human scale to the hardware's — past the batch
+// reporting quantum: sub-tick time-to-detect, the cadence/overhead
+// tradeoff, and O(1)-per-record ingest versus full per-pass recompute.
+// Their numbers feed the bench-regression guard.
+
+// registerOnline is invoked from the main registration init (register.go)
+// so the online family lists after campaigns and tenancy.
+func registerOnline() {
+	reg := scenario.Register
+
+	reg(scenario.Scenario{
+		Name: "online/detection-latency", Group: "online",
+		Description: "streaming vs batch C4D time-to-detect across three fault archetypes",
+		Paper:       "detection within seconds, not the reporting tick: C4D latency is bounded by evidence, not cadence (§III-A)",
+		Params:      map[string]string{"faults": "nic-degrade,straggler,spine-outage", "job": "8 nodes spread"},
+		Run:         func(c *scenario.Ctx) scenario.Result { return telemetry.RunDetectionLatency(c) },
+		Summarize: func(r scenario.Result) string {
+			res := r.(*telemetry.DetectionLatencyResult)
+			worst := 0.0
+			for _, tr := range res.Trials {
+				if s := tr.Speedup(); worst == 0 || s < worst {
+					worst = s
+				}
+			}
+			return fmt.Sprintf("online beats batch on all %d faults (worst speedup %.1fx)",
+				len(res.Trials), worst)
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			return r.(*telemetry.DetectionLatencyResult).Metrics()
+		},
+	})
+	reg(scenario.Scenario{
+		Name: "online/cadence-sweep", Group: "online",
+		Description: "collector drain cadence vs time-to-detect and drain overhead",
+		Paper:       "reporting cadence is the latency/overhead knob; streaming collection removes the floor",
+		Params:      map[string]string{"cadences": "streaming,0.5s,2s,5s", "fault": "nic-degrade"},
+		Run:         func(c *scenario.Ctx) scenario.Result { return telemetry.RunCadenceSweep(c) },
+		Summarize: func(r scenario.Result) string {
+			res := r.(*telemetry.CadenceSweepResult)
+			first, last := res.Arms[0], res.Arms[len(res.Arms)-1]
+			return fmt.Sprintf("TTD %.3fs streaming vs %.3fs at %v cadence",
+				first.TTD.Seconds(), last.TTD.Seconds(), last.Drain)
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			return r.(*telemetry.CadenceSweepResult).Metrics()
+		},
+	})
+	reg(scenario.Scenario{
+		Name: "online/scale-sweep", Group: "online",
+		Description: "incremental streaming ingest vs full batch recompute as the fleet grows",
+		Paper:       "per-pass master cost grows with fleet size; per-record streaming cost is O(1)",
+		Params:      map[string]string{"sizes": "2,4,8"},
+		Run:         func(c *scenario.Ctx) scenario.Result { return telemetry.RunScaleSweep(c) },
+		Summarize: func(r scenario.Result) string {
+			res := r.(*telemetry.ScaleSweepResult)
+			last := res.Points[len(res.Points)-1]
+			return fmt.Sprintf("batch %.1f cells/pass at %d nodes vs online %.1f ops/record flat",
+				last.BatchCellsPerPass(), last.JobN, last.OnlinePerRecord())
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			return r.(*telemetry.ScaleSweepResult).Metrics()
+		},
+	})
+}

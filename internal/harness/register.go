@@ -252,4 +252,5 @@ func init() {
 
 	registerCampaigns()
 	registerTenancy()
+	registerOnline()
 }

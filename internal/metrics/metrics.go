@@ -142,19 +142,37 @@ func Sum(xs []float64) float64 {
 // Jain reports Jain's fairness index (Σx)²/(n·Σx²) over non-negative
 // allocations: 1.0 when every tenant gets an equal share, approaching 1/n
 // when one tenant starves the rest. 0 when the input is empty or all-zero.
+// Non-finite inputs (NaN, ±Inf — e.g. a goodput computed over a zero
+// span upstream) are skipped rather than poisoning the index: its output
+// lands in `c4bench -json` baselines, where NaN is both meaningless and
+// unserializable.
 func Jain(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
 	var sum, sq float64
+	n := 0
 	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		n++
 		sum += x
 		sq += x * x
 	}
-	if sq <= 0 {
+	if n == 0 || sq <= 0 {
 		return 0
 	}
-	return sum * sum / (float64(len(xs)) * sq)
+	return sum * sum / (float64(n) * sq)
+}
+
+// Ratio is the guarded division shared by the goodput and gain
+// extractors: num/den, but 0 whenever the denominator is zero/negative or
+// either side is non-finite — the NaN/Inf firewall in front of every
+// tracked metric.
+func Ratio(num, den float64) float64 {
+	if den <= 0 || math.IsNaN(num) || math.IsInf(num, 0) ||
+		math.IsNaN(den) || math.IsInf(den, 0) {
+		return 0
+	}
+	return num / den
 }
 
 // Stddev reports the population standard deviation (0 when len < 2).

@@ -239,3 +239,63 @@ func TestMADShiftInvariantProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestJainHardened is the table-driven guard for the bench-JSON firewall:
+// no input shape — empty, all-zero, single, skewed, or polluted with
+// non-finite values — may ever produce NaN/Inf.
+func TestJainHardened(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"nil", nil, 0},
+		{"empty", []float64{}, 0},
+		{"all-zero", []float64{0, 0, 0}, 0},
+		{"single", []float64{7}, 1},
+		{"equal", []float64{3, 3, 3}, 1},
+		{"starved", []float64{10, 0, 0, 0}, 0.25},
+		{"nan-skipped", []float64{math.NaN(), 5, 5}, 1},
+		{"inf-skipped", []float64{inf, 5, 5}, 1},
+		{"neg-inf-skipped", []float64{math.Inf(-1), 5, 5}, 1},
+		{"only-nonfinite", []float64{math.NaN(), inf}, 0},
+	}
+	for _, tc := range cases {
+		got := Jain(tc.in)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%s: Jain = %v, non-finite leaked", tc.name, got)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("%s: Jain = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRatio pins the shared goodput-extractor guard.
+func TestRatio(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name     string
+		num, den float64
+		want     float64
+	}{
+		{"normal", 10, 4, 2.5},
+		{"zero-den", 10, 0, 0},
+		{"negative-den", 10, -1, 0},
+		{"zero-num", 0, 4, 0},
+		{"nan-num", math.NaN(), 4, 0},
+		{"inf-num", inf, 4, 0},
+		{"nan-den", 10, math.NaN(), 0},
+		{"inf-den", 10, inf, 0},
+	}
+	for _, tc := range cases {
+		got := Ratio(tc.num, tc.den)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%s: Ratio = %v, non-finite leaked", tc.name, got)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: Ratio(%v, %v) = %v, want %v", tc.name, tc.num, tc.den, got, tc.want)
+		}
+	}
+}

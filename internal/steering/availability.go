@@ -110,11 +110,14 @@ type Breakdown struct {
 	Reinit    float64
 }
 
-// DiagnosisTotal sums the per-cause diagnosis fractions.
+// DiagnosisTotal sums the per-cause diagnosis fractions in stable cause
+// order: map-range float accumulation would make the total flip its last
+// ulp between runs, and this number lands verbatim in the bench baseline,
+// which must regenerate byte-identically.
 func (b Breakdown) DiagnosisTotal() float64 {
 	var s float64
-	for _, v := range b.Diagnosis {
-		s += v
+	for _, k := range b.Causes() {
+		s += b.Diagnosis[k]
 	}
 	return s
 }

@@ -1,0 +1,77 @@
+package telemetry
+
+import "sort"
+
+// Collector is one node's bounded telemetry buffer: a fixed-capacity ring
+// that absorbs records between drains. When the producer outruns the
+// drain cadence the oldest records are overwritten and counted as drops —
+// the backpressure-free semantics of a real per-host telemetry daemon,
+// where monitoring must never stall the training job it watches.
+type Collector struct {
+	Node int
+
+	buf     []Record
+	head    int // index of the oldest buffered record
+	n       int // buffered count
+	pushed  uint64
+	dropped uint64
+}
+
+// NewCollector creates a collector with the given ring capacity
+// (minimum 1).
+func NewCollector(node, capacity int) *Collector {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Collector{Node: node, buf: make([]Record, capacity)}
+}
+
+// Push buffers one record, overwriting (and counting as dropped) the
+// oldest when the ring is full.
+func (c *Collector) Push(r Record) {
+	c.pushed++
+	if c.n == len(c.buf) {
+		// Overwrite the oldest.
+		c.buf[c.head] = r
+		c.head = (c.head + 1) % len(c.buf)
+		c.dropped++
+		return
+	}
+	c.buf[(c.head+c.n)%len(c.buf)] = r
+	c.n++
+}
+
+// Len reports the buffered record count.
+func (c *Collector) Len() int { return c.n }
+
+// Pushed reports how many records were ever offered.
+func (c *Collector) Pushed() uint64 { return c.pushed }
+
+// Dropped reports how many records were lost to ring overwrites.
+func (c *Collector) Dropped() uint64 { return c.dropped }
+
+// Drain appends the buffered records to dst in push (= event-time) order
+// and empties the ring.
+func (c *Collector) Drain(dst []Record) []Record {
+	for i := 0; i < c.n; i++ {
+		dst = append(dst, c.buf[(c.head+i)%len(c.buf)])
+	}
+	c.head, c.n = 0, 0
+	return dst
+}
+
+// MergeByTime orders a batch of records drained from several collectors
+// into one deterministic event-time stream: ascending Time, ties broken
+// by collecting Node, then by each collector's push order. Every
+// collector drains in push order and the simulation clock is monotonic,
+// so the stable sort reduces to an interleave — records from one node
+// never reorder relative to each other.
+func MergeByTime(records []Record) []Record {
+	sort.SliceStable(records, func(i, j int) bool {
+		if records[i].Time != records[j].Time {
+			return records[i].Time < records[j].Time
+		}
+		return records[i].Node < records[j].Node
+	})
+	return records
+}

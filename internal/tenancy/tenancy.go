@@ -321,12 +321,11 @@ func (st *runState) finalize(i int, end sim.Time) {
 	}
 	s.AvgIter = sum / sim.Time(s.Iters)
 	spec := st.events[i].Spec(s.Nodes)
-	if active := (s.End - s.Start).Seconds(); active > 0 {
-		s.Goodput = float64(s.Iters) * spec.SamplesPerIter / active
-	}
-	if ideal := spec.IterComputeTime(); ideal > 0 {
-		s.Stretch = float64(s.AvgIter) / float64(ideal)
-	}
+	// Ratio guards the zero-occupancy and zero-compute corners (a job
+	// finalized the instant it was admitted): the metrics must stay 0,
+	// never NaN/Inf, because they aggregate into c4bench -json baselines.
+	s.Goodput = metrics.Ratio(float64(s.Iters)*spec.SamplesPerIter, (s.End - s.Start).Seconds())
+	s.Stretch = metrics.Ratio(float64(s.AvgIter), float64(spec.IterComputeTime()))
 }
 
 // String renders the per-job table plus the aggregate line.

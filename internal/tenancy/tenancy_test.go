@@ -1,6 +1,8 @@
 package tenancy
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 
@@ -228,5 +230,36 @@ func TestChurnExercisesLifecycle(t *testing.T) {
 	}
 	if res.Fired() == 0 {
 		t.Fatal("event counter not wired")
+	}
+}
+
+// TestDegenerateRunsProduceFiniteMetrics guards the c4bench -json path:
+// empty traces and zero-duration tenants must yield finite, serializable
+// aggregates (Jain/goodput/stretch are 0, never NaN).
+func TestDegenerateRunsProduceFiniteMetrics(t *testing.T) {
+	runs := []RunResult{
+		Run(Config{Horizon: 10 * sim.Second, Seed: 1, Trace: Trace{}}),
+		Run(Config{Horizon: 10 * sim.Second, Seed: 1, Trace: Trace{Events: []TraceEvent{
+			{AtS: 1, Name: "blink", Nodes: 2, DurationS: 0, ComputeMS: 150},
+		}}}),
+	}
+	for i, res := range runs {
+		for name, v := range map[string]float64{
+			"agg_goodput": res.AggGoodput, "jain": res.Jain, "mean_stretch": res.MeanStretch,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("run %d: %s = %v", i, name, v)
+			}
+		}
+		if _, err := json.Marshal(map[string]float64{
+			"agg": res.AggGoodput, "jain": res.Jain, "stretch": res.MeanStretch,
+		}); err != nil {
+			t.Fatalf("run %d: metrics not serializable: %v", i, err)
+		}
+		for _, s := range res.Jobs {
+			if math.IsNaN(s.Goodput) || math.IsNaN(s.Stretch) {
+				t.Fatalf("run %d: job %s leaked NaN: %+v", i, s.Name, s)
+			}
+		}
 	}
 }
