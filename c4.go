@@ -44,6 +44,7 @@ import (
 	"c4/internal/harness"
 	"c4/internal/job"
 	"c4/internal/netsim"
+	"c4/internal/plan"
 	"c4/internal/rca"
 	"c4/internal/scenario"
 	"c4/internal/sched"
@@ -220,6 +221,21 @@ var (
 
 // NewJob opens a training job.
 func NewJob(cfg JobConfig) (*Job, error) { return job.New(cfg) }
+
+// Training-iteration planner (internal/plan): the compiler from a 3D
+// parallelization strategy to a timed 1F1B micro-batch schedule.
+type (
+	// PlanOptions tunes gradient bucketing and comm/compute overlap.
+	PlanOptions = plan.Options
+	// Plan is a compiled training iteration.
+	Plan = plan.Plan
+)
+
+// CompilePlan expands a job spec's strategy into an iteration schedule.
+func CompilePlan(spec JobSpec, opts PlanOptions) (*Plan, error) { return plan.Compile(spec, opts) }
+
+// ParseParallelism parses a strategy string like "tp8/pp4/dp2/ga8".
+func ParseParallelism(s string) (Parallelism, error) { return workload.ParseParallelism(s) }
 
 // NewMachines builds n machines with g GPUs each plus spares.
 func NewMachines(n, g, spares int) *Machines { return cluster.NewCluster(n, g, spares) }

@@ -178,6 +178,7 @@ func writeMarkdown(w *os.File, scns []scenario.Scenario, reports []scenario.Repo
 	writeFaultModelDocs(w)
 	writeTenancyDocs(w)
 	writeOnlineDocs(w)
+	writePlanDocs(w)
 	return failures
 }
 
@@ -275,6 +276,42 @@ reporting tick.
 Telemetry streams serialize as JSONL (`+"`c4sim -telemetry-out FILE`"+`,
 format in README.md) and replay offline through `+"`c4watch`"+`, which
 reproduces the live detections at identical virtual instants.`)
+}
+
+// writePlanDocs documents the training-iteration planner family's engine
+// and knobs (internal/plan) in the generated experiments file.
+func writePlanDocs(w *os.File) {
+	fmt.Fprintln(w, `
+## Training-iteration planner scenarios
+
+The plan/* scenarios run internal/plan, the compiler from a 3D
+parallelization strategy (TP/PP/DP + gradient accumulation) to a timed
+1F1B micro-batch schedule executed on the simulated fabric: per-stage
+forward/backward compute slots in the canonical one-forward-one-backward
+order, activation and gradient tensors shipped between adjacent stages as
+point-to-point `+"`accl.SendRecv`"+` traffic, and the data-parallel
+gradient volume split into buckets that launch inside the final backward
+pass (overlap on) or at the stage drain (overlap off). Every run reports
+the iteration breakdown the sweeps assert on:
+
+    iteration = compute + pipeline bubble + exposed communication
+
+- plan/strategy-sweep: DP×PP splits of a fixed 16-node world under both
+  ECMP and C4P. The shape check asserts the paper's precondition: the
+  exposed-communication share falls as PP deepens, and the C4P-over-ECMP
+  goodput delta grows monotonically with that share.
+- plan/bucket-sweep: the overlap benefit curve. Exposed communication
+  falls monotonically as buckets shrink, but throughput peaks at an
+  interior bucket size — ever-finer buckets steal fabric bandwidth from
+  the pipeline drain's gradient transfers.
+- plan/overlap-ablation: overlap on vs off at fixed strategy and bucket
+  size; overlap must strictly reduce exposed communication and win
+  throughput.
+
+Single strategies compile and run from the CLI
+(`+"`c4sim -plan tp8/pp4/dp2/ga8 -plan-bucket-mib 256 -plan-overlap`"+`),
+and arrival-trace tenants take `+"`pp`"+`/`+"`ga`"+` fields, so
+multi-tenant runs can mix pipeline and pure-DP traffic on one fabric.`)
 }
 
 func escape(s string) string {

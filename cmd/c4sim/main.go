@@ -16,6 +16,8 @@
 //	c4sim -campaign all -campaign-json out # all campaigns + JSON reports
 //	c4sim -tenancy-trace trace.json        # replay a multi-tenant arrival trace
 //	c4sim -tenancy-trace trace.json -tenancy-policy spread -provider baseline
+//	c4sim -plan tp8/pp4/dp2/ga8            # compile + run a 3D-parallelism plan
+//	c4sim -plan tp8/pp2/dp8/ga4 -job gpt175b -plan-bucket-mib 256 -plan-overlap
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"c4/internal/accl"
@@ -31,6 +34,7 @@ import (
 	"c4/internal/faults"
 	"c4/internal/harness"
 	"c4/internal/job"
+	"c4/internal/plan"
 	"c4/internal/rca"
 	"c4/internal/scenario"
 	"c4/internal/sched"
@@ -44,7 +48,7 @@ import (
 
 func main() {
 	var (
-		jobName   = flag.String("job", "gpt22b", "workload: gpt22b | llama7b | gpt175b")
+		jobName   = flag.String("job", "gpt22b", "workload model: "+strings.Join(workload.ModelNames(), " | "))
 		provider  = flag.String("provider", "c4p", "path control: baseline | c4p | c4p-dynamic")
 		fault     = flag.String("fault", "none", "inject: none | crash | straggler | nic")
 		faultAt   = flag.Duration("fault-at", 30*time.Second, "fault injection time")
@@ -63,6 +67,10 @@ func main() {
 		tenTrace  = flag.String("tenancy-trace", "", "replay a multi-tenant JSON arrival trace on a shared fabric (see README for the format)")
 		tenPolicy = flag.String("tenancy-policy", "packed", "with -tenancy-trace: placement policy: packed | spread | random")
 		tenSpines = flag.Int("tenancy-spines", 8, "with -tenancy-trace: spine switches per rail (8 = 1:1, 4 = 2:1)")
+		planStr   = flag.String("plan", "", "compile and run a 3D-parallelism plan for -job, e.g. 'tp8/pp4/dp2/ga8' (PP*DP nodes, spread placement; TP stays intra-node)")
+		planBkt   = flag.Float64("plan-bucket-mib", 0, "with -plan: DP gradient bucket size in MiB (0 = one bucket)")
+		planOvl   = flag.Bool("plan-overlap", false, "with -plan: launch buckets inside the final backward pass (comm/compute overlap)")
+		planIters = flag.Int("plan-iters", 5, "with -plan: iterations to run")
 	)
 	flag.Parse()
 
@@ -78,6 +86,9 @@ func main() {
 	}
 	if *tenTrace != "" {
 		os.Exit(runTenancy(*tenTrace, *tenPolicy, *provider, *tenSpines, *horizon, *seed))
+	}
+	if *planStr != "" {
+		os.Exit(runPlan(*planStr, *jobName, *provider, *planBkt, *planOvl, *planIters, *seed))
 	}
 
 	spec := topo.MultiJobTestbed(8)
@@ -123,18 +134,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c4sim: unknown placement %q\n", *placement)
 		os.Exit(2)
 	}
+	model, ok := workload.ModelByName(*jobName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "c4sim: unknown job %q (have: %s)\n",
+			*jobName, strings.Join(workload.ModelNames(), ", "))
+		os.Exit(2)
+	}
 	specs := workload.Fig14Jobs(nodes)
 	var jobSpec workload.JobSpec
-	switch *jobName {
-	case "gpt22b":
+	switch model.Name {
+	case workload.GPT22B.Name:
 		jobSpec = specs[0]
-	case "llama7b":
+	case workload.Llama7B.Name:
 		jobSpec = specs[1]
-	case "gpt175b":
+	case workload.GPT175B.Name:
 		jobSpec = specs[2]
 	default:
-		fmt.Fprintf(os.Stderr, "c4sim: unknown job %q\n", *jobName)
-		os.Exit(2)
+		// Models outside Fig 14 (Llama-13B) run the Job1-style TP8×DP16
+		// configuration with their own gradient volume.
+		jobSpec = specs[0]
+		jobSpec.Name, jobSpec.Model = model.Name, model
 	}
 
 	logf := func(format string, args ...any) {
@@ -380,6 +399,81 @@ func runTenancy(path, policy, provider string, spines int, horizon time.Duration
 		Trace:   trace,
 	})
 	fmt.Print(res)
+	return 0
+}
+
+// runPlan compiles one 3D-parallelism strategy into a training-iteration
+// plan, executes it on the 16-node testbed under the chosen provider, and
+// prints the compiled schedule plus the measured iteration breakdown —
+// the single-job window into what the plan/* scenario family sweeps.
+func runPlan(strategy, modelName, provider string, bucketMiB float64, overlap bool, iters int, seed int64) int {
+	par, err := workload.ParseParallelism(strategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+		return 2
+	}
+	model, ok := workload.ModelByName(modelName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "c4sim: unknown job %q (have: %s)\n",
+			modelName, strings.Join(workload.ModelNames(), ", "))
+		return 2
+	}
+	world := par.PP * par.DP
+	if world > 16 {
+		fmt.Fprintf(os.Stderr, "c4sim: strategy %v needs %d nodes, testbed has 16\n", par, world)
+		return 2
+	}
+	var kind harness.ProviderKind
+	switch provider {
+	case "baseline":
+		kind = harness.Baseline
+	case "c4p":
+		kind = harness.C4PStatic
+	case "c4p-dynamic":
+		kind = harness.C4PDynamic
+	default:
+		fmt.Fprintf(os.Stderr, "c4sim: unknown provider %q\n", provider)
+		return 2
+	}
+	// Spread placement: alternating leaf groups, so ring and pipeline
+	// edges cross the spine layer — the same placement the plan/*
+	// scenarios sweep.
+	nodes := harness.InterleavedNodes(world)
+	env := harness.NewEnv(topo.MultiJobTestbed(8))
+	spec := workload.JobSpec{
+		Name:                 model.Name,
+		Model:                model,
+		Par:                  par,
+		Nodes:                nodes,
+		ComputePerMicroBatch: 550 * sim.Millisecond,
+		ComputeJitter:        0.02,
+		SamplesPerIter:       64,
+	}
+	j, err := job.New(job.Config{
+		Engine: env.Eng, Net: env.Net,
+		Provider:   env.NewProvider(kind, seed),
+		Rails:      []int{0},
+		Spec:       spec,
+		Plan:       plan.Options{BucketBytes: bucketMiB * (1 << 20), Overlap: overlap},
+		Rand:       sim.NewRand(seed),
+		QPsPerConn: 8,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+		return 1
+	}
+	fmt.Println(j.Plan())
+	j.OnIteration(func(i int, d sim.Time) {
+		fmt.Printf("iteration %2d: %v\n", i, d)
+	})
+	var rep job.Report
+	j.Run(iters, func(r job.Report) { rep = r })
+	env.Eng.Run()
+	fmt.Printf("\n%d iterations under %v:\n", rep.Iters, kind)
+	fmt.Printf("  avg iteration  %v (%.1f samples/s)\n", rep.AvgIter, rep.SamplesPerSec)
+	fmt.Printf("  compute        %v\n", rep.AvgCompute)
+	fmt.Printf("  pipeline bubble %v\n", rep.AvgBubble)
+	fmt.Printf("  exposed comm   %v (%.1f%% of the iteration)\n", rep.AvgExposed, rep.ExposedShare()*100)
 	return 0
 }
 

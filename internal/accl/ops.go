@@ -30,6 +30,12 @@ type Op struct {
 	onDone  func(Result)
 	started sim.Time // earliest arrival
 
+	// members are the nodes participating in the operation; nil means the
+	// whole communicator (every collective). Point-to-point operations
+	// scope it to their two endpoints so completion records are not
+	// attributed to bystander ranks.
+	members []int
+
 	pendingEdges int
 	lastEnd      sim.Time
 	completed    bool
@@ -49,7 +55,7 @@ func busFactor(op OpType, n int) float64 {
 		return 2 * float64(n-1) / float64(n)
 	case OpAllGather, OpReduceScatter:
 		return float64(n-1) / float64(n)
-	default: // broadcast
+	default: // broadcast, sendrecv
 		return 1
 	}
 }
@@ -155,7 +161,11 @@ func (o *Op) complete() {
 	if end < c.cfg.Engine.Now() {
 		end = c.cfg.Engine.Now()
 	}
-	for _, node := range c.nodes {
+	nodes := o.members
+	if nodes == nil {
+		nodes = c.nodes
+	}
+	for _, node := range nodes {
 		if c.crashed[node] {
 			continue
 		}

@@ -1,0 +1,59 @@
+package accl
+
+import "c4/internal/sim"
+
+// SendRecv starts a point-to-point transfer of `bytes` from member rank
+// src to member rank dst — the pipeline-parallel exchange between
+// adjacent stages (activations forward, gradients backward). ready is the
+// absolute instant the sender's data exists (its producing compute slot's
+// end); the transfer starts then and rides the communicator's rails,
+// planes and QPs exactly like a collective edge, so it contends on (and
+// is steered across) the same fabric. onDone may be nil.
+//
+// Monitoring semantics mirror the collectives: both endpoints emit
+// kernel-arrive records at `ready`, completion records fire at delivery,
+// and a crashed endpoint makes the operation hang forever — the same
+// syndrome C4D observes on a stalled collective. Unlike ring collectives
+// the message is always a single transfer (no chunked stepwise mode):
+// stage-to-stage tensors ship as one RDMA write in ACCL.
+func (c *Communicator) SendRecv(src, dst int, bytes float64, ready sim.Time, onDone func(Result)) *Op {
+	if src < 0 || src >= len(c.nodes) || dst < 0 || dst >= len(c.nodes) {
+		panic("accl: SendRecv rank out of range")
+	}
+	if src == dst {
+		panic("accl: SendRecv with src == dst")
+	}
+	c.seq++
+	o := &Op{
+		comm: c, Type: OpSendRecv, Algo: "p2p", Seq: c.seq, Bytes: bytes,
+		onDone:  onDone,
+		members: []int{c.nodes[src], c.nodes[dst]},
+	}
+	// Arrival vector over the whole communicator, with only the two
+	// endpoints participating; announceArrivals skips MaxTime entries, so
+	// bystander ranks (and crashed endpoints) emit nothing.
+	arr := make([]sim.Time, len(c.nodes))
+	for i := range arr {
+		arr[i] = sim.MaxTime
+	}
+	at := ready
+	if now := c.cfg.Engine.Now(); at < now {
+		at = now
+	}
+	for _, r := range []int{src, dst} {
+		if !c.crashed[c.nodes[r]] {
+			arr[r] = at
+		}
+	}
+	c.announceArrivals(o, arr)
+	if arr[src] == sim.MaxTime || arr[dst] == sim.MaxTime {
+		return o // a crashed endpoint: the transfer never starts, the op hangs
+	}
+	o.pendingEdges = 1
+	c.cfg.Engine.Schedule(at, func() {
+		c.transfer(o, c.nodes[src], c.nodes[dst], bytes, func(end sim.Time) {
+			o.finishEdge(end)
+		})
+	})
+	return o
+}

@@ -1,0 +1,97 @@
+package accl
+
+import (
+	"testing"
+
+	"c4/internal/sim"
+)
+
+func TestSendRecvDeliversAtLinkRate(t *testing.T) {
+	h := newHarness()
+	c := h.comm(t, Config{}, []int{0, 8})
+	var res Result
+	c.SendRecv(0, 1, 256*MiB, 0, func(r Result) { res = r })
+	h.eng.Run()
+	if res.End == 0 {
+		t.Fatal("sendrecv never completed")
+	}
+	if res.Op != OpSendRecv || res.Algo != "p2p" {
+		t.Fatalf("result = %+v, want sendrecv/p2p", res)
+	}
+	// One cross-leaf message striped over two 200 Gbps planes: the
+	// bonded-port 400 Gbps ceiling, minus nothing (no contention).
+	if res.AlgGbps < 350 || res.AlgGbps > 410 {
+		t.Fatalf("algbw = %.1f Gbps, want ≈400", res.AlgGbps)
+	}
+}
+
+func TestSendRecvHonorsReadyInstant(t *testing.T) {
+	h := newHarness()
+	c := h.comm(t, Config{}, []int{0, 8})
+	ready := 3 * sim.Second
+	var res Result
+	c.SendRecv(0, 1, 64*MiB, ready, func(r Result) { res = r })
+	h.eng.Run()
+	if res.Start != ready {
+		t.Fatalf("start = %v, want %v (the sender's data-ready instant)", res.Start, ready)
+	}
+	if res.End <= ready {
+		t.Fatalf("end = %v, want after %v", res.End, ready)
+	}
+}
+
+func TestSendRecvScopesRecordsToEndpoints(t *testing.T) {
+	h := newHarness()
+	// A 4-member communicator, but only ranks 1 -> 2 exchange data.
+	c := h.comm(t, Config{}, []int{0, 2, 8, 10})
+	done := false
+	c.SendRecv(1, 2, 32*MiB, 0, func(Result) { done = true })
+	h.eng.Run()
+	if !done {
+		t.Fatal("sendrecv never completed")
+	}
+	seen := map[int]int{}
+	for _, ev := range h.rec.Collectives {
+		if ev.Op != OpSendRecv {
+			continue
+		}
+		seen[ev.Node]++
+	}
+	if len(seen) != 2 || seen[2] != 2 || seen[8] != 2 {
+		t.Fatalf("records per node = %v, want arrive+complete on nodes 2 and 8 only", seen)
+	}
+}
+
+func TestSendRecvCrashedEndpointHangs(t *testing.T) {
+	h := newHarness()
+	c := h.comm(t, Config{}, []int{0, 8})
+	c.SetCrashed(8, true)
+	op := c.SendRecv(0, 1, 32*MiB, 0, func(Result) {
+		t.Fatal("sendrecv completed despite a crashed receiver")
+	})
+	h.eng.Run()
+	if op.Done() {
+		t.Fatal("op reports done")
+	}
+	// No completion records either.
+	for _, ev := range h.rec.Collectives {
+		if ev.Op == OpSendRecv && ev.Phase == PhaseComplete {
+			t.Fatalf("completion record emitted: %+v", ev)
+		}
+	}
+}
+
+func TestSendRecvBadRankPanics(t *testing.T) {
+	h := newHarness()
+	c := h.comm(t, Config{}, []int{0, 8})
+	for _, ranks := range [][2]int{{0, 0}, {-1, 1}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SendRecv(%d, %d) did not panic", ranks[0], ranks[1])
+				}
+			}()
+			c.SendRecv(ranks[0], ranks[1], 1, 0, nil)
+		}()
+	}
+}

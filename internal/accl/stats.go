@@ -21,6 +21,10 @@ const (
 	OpAllGather     OpType = "allgather"
 	OpReduceScatter OpType = "reducescatter"
 	OpBroadcast     OpType = "broadcast"
+	// OpSendRecv is the point-to-point transfer pipeline parallelism
+	// exchanges between adjacent stages (activations forward, gradients
+	// backward) — NCCL's send/recv pair.
+	OpSendRecv OpType = "sendrecv"
 )
 
 // CollPhase distinguishes records within one collective (coll-stats /

@@ -40,7 +40,7 @@ func runPlaneRuleAblation(ctx *scenario.Ctx) PlaneRuleAblation {
 			m := c4p.NewMaster(e.Topo, c4p.Static, sim.NewRand(seed+d))
 			m.DisablePlaneRule = disable
 			b, err := StartBench(e, BenchConfig{
-				Nodes: interleavedNodes(8), Bytes: 512 << 20, Iters: 4,
+				Nodes: InterleavedNodes(8), Bytes: 512 << 20, Iters: 4,
 				Provider: m, QPsPerConn: 2, Seed: seed + d,
 			})
 			if err != nil {
@@ -102,7 +102,7 @@ func runAlgoCrossover(ctx *scenario.Ctx) AlgoCrossover {
 				Rails:    []int{0},
 				Stepwise: !tree,
 				Rand:     sim.NewRand(seed),
-			}, interleavedNodes(8))
+			}, InterleavedNodes(8))
 			if err != nil {
 				panic(err)
 			}
@@ -345,7 +345,7 @@ func runQPSweep(ctx *scenario.Ctx) QPSweep {
 		for d := int64(0); d < draws; d++ {
 			e := newEnv(ctx, topo.MultiJobTestbed(8))
 			b, err := StartBench(e, BenchConfig{
-				Nodes: interleavedNodes(8), Bytes: 256 << 20, Iters: 3,
+				Nodes: InterleavedNodes(8), Bytes: 256 << 20, Iters: 3,
 				Provider: e.NewProvider(Baseline, seed+100*d), QPsPerConn: qps, Seed: seed + d,
 			})
 			if err != nil {

@@ -32,7 +32,7 @@ func RunFig14(seed int64) Fig14Result { return runFig14(scenario.NewCtx(seed)) }
 func runFig14(ctx *scenario.Ctx) Fig14Result {
 	seed := ctx.Seed
 	res := Fig14Result{}
-	specs := workload.Fig14Jobs(interleavedNodes(16))
+	specs := workload.Fig14Jobs(InterleavedNodes(16))
 	for _, spec := range specs {
 		res.Jobs = append(res.Jobs, fmt.Sprintf("%s (%s, %s)", spec.Name, spec.Model.Name, spec.Par))
 		run := func(kind ProviderKind, s int64) float64 {

@@ -37,7 +37,7 @@ func runFig9(ctx *scenario.Ctx) Fig9Result {
 		for d := int64(0); d < draws; d++ {
 			e := newEnv(ctx, topo.MultiJobTestbed(8))
 			b, err := StartBench(e, BenchConfig{
-				Nodes: interleavedNodes(m), Bytes: bytes, Iters: 4,
+				Nodes: InterleavedNodes(m), Bytes: bytes, Iters: 4,
 				Provider: e.NewProvider(Baseline, seed+100*d), QPsPerConn: 2, Seed: seed + d,
 			})
 			if err != nil {
@@ -50,7 +50,7 @@ func runFig9(ctx *scenario.Ctx) Fig9Result {
 
 		e := newEnv(ctx, topo.MultiJobTestbed(8))
 		b, err := StartBench(e, BenchConfig{
-			Nodes: interleavedNodes(m), Bytes: bytes, Iters: 4,
+			Nodes: InterleavedNodes(m), Bytes: bytes, Iters: 4,
 			Provider: e.NewProvider(C4PStatic, seed), QPsPerConn: 2, Seed: seed,
 		})
 		if err != nil {

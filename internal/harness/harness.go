@@ -84,10 +84,10 @@ func (e *Env) NewProvider(kind ProviderKind, seed int64) accl.PathProvider {
 	}
 }
 
-// interleavedNodes returns m nodes alternating between the two leaf groups
+// InterleavedNodes returns m nodes alternating between the two leaf groups
 // of the multi-job testbed, so every ring edge crosses the spine layer
 // (the paper's benchmark placement).
-func interleavedNodes(m int) []int {
+func InterleavedNodes(m int) []int {
 	out := make([]int, 0, m)
 	for i := 0; len(out) < m; i++ {
 		out = append(out, i)

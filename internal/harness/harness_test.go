@@ -240,7 +240,7 @@ func TestDifferentSeedsVaryBaseline(t *testing.T) {
 	run := func(seed int64) float64 {
 		e := NewEnv(topo.MultiJobTestbed(8))
 		b, err := StartBench(e, BenchConfig{
-			Nodes: interleavedNodes(8), Bytes: 64 << 20, Iters: 2,
+			Nodes: InterleavedNodes(8), Bytes: 64 << 20, Iters: 2,
 			Provider: e.NewProvider(Baseline, seed), QPsPerConn: 2, Seed: seed,
 		})
 		if err != nil {
@@ -256,16 +256,16 @@ func TestDifferentSeedsVaryBaseline(t *testing.T) {
 }
 
 func TestInterleavedNodes(t *testing.T) {
-	got := interleavedNodes(4)
+	got := InterleavedNodes(4)
 	want := []int{0, 8, 1, 9}
 	for i := range want {
 		if got[i] != want[i] {
-			t.Fatalf("interleavedNodes(4) = %v", got)
+			t.Fatalf("InterleavedNodes(4) = %v", got)
 		}
 	}
 	spec := topo.MultiJobTestbed(8)
 	tp := topo.MustNew(spec)
-	nodes := interleavedNodes(16)
+	nodes := InterleavedNodes(16)
 	for i := 0; i+1 < len(nodes); i++ {
 		if tp.Group(nodes[i]) == tp.Group(nodes[i+1]) {
 			t.Fatalf("adjacent ring nodes %d,%d share a group", nodes[i], nodes[i+1])

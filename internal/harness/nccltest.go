@@ -109,7 +109,7 @@ func runNCCLTest(ctx *scenario.Ctx, spec NCCLTestSpec) NCCLTestResult {
 	}
 	e := newEnv(ctx, fab)
 	b, err := StartBench(e, BenchConfig{
-		Nodes: interleavedNodes(spec.Nodes), Bytes: spec.MiB * (1 << 20), Iters: spec.Iters,
+		Nodes: InterleavedNodes(spec.Nodes), Bytes: spec.MiB * (1 << 20), Iters: spec.Iters,
 		Provider: e.NewProvider(spec.Kind, ctx.Seed), QPsPerConn: spec.QPsPerConn,
 		Adaptive: spec.Kind == C4PDynamic, Seed: ctx.Seed,
 	})

@@ -10,7 +10,7 @@ import (
 func TestBenchIterCount(t *testing.T) {
 	e := NewEnv(topo.MultiJobTestbed(8))
 	b, err := StartBench(e, BenchConfig{
-		Nodes: interleavedNodes(4), Bytes: 64 << 20, Iters: 5,
+		Nodes: InterleavedNodes(4), Bytes: 64 << 20, Iters: 5,
 		Provider: e.NewProvider(C4PStatic, 1), QPsPerConn: 2, Seed: 1,
 	})
 	if err != nil {
@@ -28,7 +28,7 @@ func TestBenchIterCount(t *testing.T) {
 func TestBenchDeadline(t *testing.T) {
 	e := NewEnv(topo.MultiJobTestbed(8))
 	b, err := StartBench(e, BenchConfig{
-		Nodes: interleavedNodes(4), Bytes: 512 << 20, Until: 3 * sim.Second,
+		Nodes: InterleavedNodes(4), Bytes: 512 << 20, Until: 3 * sim.Second,
 		Provider: e.NewProvider(C4PStatic, 1), QPsPerConn: 2, Seed: 1,
 	})
 	if err != nil {
@@ -50,7 +50,7 @@ func TestBenchDeadline(t *testing.T) {
 func TestBenchStop(t *testing.T) {
 	e := NewEnv(topo.MultiJobTestbed(8))
 	b, err := StartBench(e, BenchConfig{
-		Nodes: interleavedNodes(4), Bytes: 512 << 20, Iters: 1000,
+		Nodes: InterleavedNodes(4), Bytes: 512 << 20, Iters: 1000,
 		Provider: e.NewProvider(C4PStatic, 1), QPsPerConn: 2, Seed: 1,
 	})
 	if err != nil {

@@ -52,7 +52,7 @@ func runPipeline(ctx *scenario.Ctx) PipelineResult {
 		Name:                 "pipeline-GPT22B",
 		Model:                workload.GPT22B,
 		Par:                  workload.Parallelism{TP: 8, DP: 16, GA: 1},
-		Nodes:                interleavedNodes(16),
+		Nodes:                InterleavedNodes(16),
 		ComputePerMicroBatch: 550 * sim.Millisecond,
 		ComputeJitter:        0.02,
 		SamplesPerIter:       64,

@@ -253,4 +253,5 @@ func init() {
 	registerCampaigns()
 	registerTenancy()
 	registerOnline()
+	registerPlan()
 }

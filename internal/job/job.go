@@ -1,8 +1,14 @@
 // Package job runs simulated distributed-training jobs over the ACCL
-// collective layer: BSP iterations of compute followed by data-parallel
-// gradient synchronization, with per-node jitter, injectable stragglers,
-// and node replacement — the workload generator behind Figs 3 and 14 and
-// the live C4D→steering pipeline.
+// collective layer. Every job's iteration is compiled by internal/plan
+// into a micro-batch schedule: pure data-parallel GA=1 jobs collapse to
+// the fused compute-then-allreduce step (the historical lump-sum model,
+// preserved bit-for-bit), while pipeline-parallel or gradient-accumulated
+// strategies execute the full 1F1B DAG — per-stage forward/backward
+// slots, stage-to-stage activation/gradient SendRecv traffic, and
+// bucketed, optionally overlapped DP gradient synchronization — with
+// per-node jitter, injectable stragglers, and node replacement. This is
+// the workload generator behind Figs 3 and 14, the plan/* strategy
+// sweeps, and the live C4D→steering pipeline.
 package job
 
 import (
@@ -10,6 +16,7 @@ import (
 
 	"c4/internal/accl"
 	"c4/internal/netsim"
+	"c4/internal/plan"
 	"c4/internal/sim"
 	"c4/internal/workload"
 )
@@ -23,6 +30,10 @@ type Config struct {
 	Rails    []int
 	Rand     *sim.Rand
 	Spec     workload.JobSpec
+	// Plan tunes the compiled iteration schedule: gradient bucket size,
+	// comm/compute overlap, activation volume. The zero value compiles
+	// pure-DP GA=1 jobs to the fused single-allreduce step.
+	Plan plan.Options
 	// Stepwise selects chunked collectives (needed when a C4D fleet wants
 	// per-step transport records).
 	Stepwise bool
@@ -40,15 +51,42 @@ type Report struct {
 	AvgIter       sim.Time
 	SamplesPerSec float64
 	IterTimes     []sim.Time
+
+	// The average iteration's breakdown, AvgIter ≈ AvgCompute + AvgBubble
+	// + AvgExposed: busiest-node compute, pipeline idle before compute
+	// finished (warmup/drain plus activation-transfer stalls), and the
+	// tail only gradient synchronization occupies — the exposed
+	// communication whose share decides how much path steering can help.
+	AvgCompute sim.Time
+	AvgBubble  sim.Time
+	AvgExposed sim.Time
+}
+
+// ExposedShare is the exposed-communication fraction of the average
+// iteration, the paper's Fig 14 precondition knob.
+func (r Report) ExposedShare() float64 {
+	if r.AvgIter <= 0 {
+		return 0
+	}
+	return float64(r.AvgExposed) / float64(r.AvgIter)
 }
 
 // Job is a running training job.
 type Job struct {
 	cfg    Config
+	plan   *plan.Plan
 	nodes  []int
 	groups [][]int
 	comms  []*accl.Communicator
-	rand   *sim.Rand
+	// pairComms[d*(PP-1)+s] carries the pipeline point-to-point traffic
+	// between stages s and s+1 of replica d (empty when PP == 1).
+	pairComms []*accl.Communicator
+	// commEpoch counts openComms calls; an abandoned plan iteration (the
+	// job was stopped and its comms rebuilt by ReplaceNode mid-schedule)
+	// still has compute-end events queued, and the epoch check stops them
+	// from launching transfers on the rebuilt communicators.
+	commEpoch int
+	rand      *sim.Rand
 
 	stragglers map[int]sim.Time
 	running    bool
@@ -56,12 +94,16 @@ type Job struct {
 	iterStart  sim.Time
 	runStart   sim.Time
 	iterTimes  []sim.Time
+	busySum    sim.Time
+	bubbleSum  sim.Time
+	exposedSum sim.Time
 	onDone     func(Report)
 	onIter     func(int, sim.Time)
 }
 
-// New validates the spec and opens the job's communicators (one per
-// pipeline stage's DP group).
+// New validates the spec, compiles its iteration plan, and opens the
+// job's communicators: one per pipeline stage's DP group, plus one per
+// adjacent-stage pair when the plan carries pipeline traffic.
 func New(cfg Config) (*Job, error) {
 	if cfg.Engine == nil || cfg.Net == nil || cfg.Provider == nil {
 		return nil, fmt.Errorf("job: Engine, Net and Provider are required")
@@ -73,8 +115,13 @@ func New(cfg Config) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	p, err := plan.Compile(cfg.Spec, cfg.Plan)
+	if err != nil {
+		return nil, err
+	}
 	j := &Job{
 		cfg:        cfg,
+		plan:       p,
 		nodes:      append([]int(nil), cfg.Spec.Nodes...),
 		groups:     groups,
 		rand:       cfg.Rand.Fork(),
@@ -86,28 +133,60 @@ func New(cfg Config) (*Job, error) {
 	return j, nil
 }
 
+// Plan exposes the compiled iteration schedule.
+func (j *Job) Plan() *plan.Plan { return j.plan }
+
+func (j *Job) newComm(nodes []int) (*accl.Communicator, error) {
+	return accl.NewCommunicator(accl.Config{
+		Engine: j.cfg.Engine, Net: j.cfg.Net, Provider: j.cfg.Provider,
+		Sink: j.cfg.Sink, Rails: j.cfg.Rails, Rand: j.rand,
+		Stepwise: j.cfg.Stepwise, AdaptiveWeights: j.cfg.AdaptiveWeights,
+		QPsPerConn: j.cfg.QPsPerConn,
+	}, nodes)
+}
+
 func (j *Job) openComms() error {
-	for _, c := range j.comms {
+	for _, c := range j.allComms() {
 		c.Close()
 	}
 	j.comms = j.comms[:0]
+	j.pairComms = j.pairComms[:0]
+	j.commEpoch++
 	for _, g := range j.groups {
 		if len(g) < 2 {
 			j.comms = append(j.comms, nil) // DP=1: nothing to synchronize
 			continue
 		}
-		c, err := accl.NewCommunicator(accl.Config{
-			Engine: j.cfg.Engine, Net: j.cfg.Net, Provider: j.cfg.Provider,
-			Sink: j.cfg.Sink, Rails: j.cfg.Rails, Rand: j.rand,
-			Stepwise: j.cfg.Stepwise, AdaptiveWeights: j.cfg.AdaptiveWeights,
-			QPsPerConn: j.cfg.QPsPerConn,
-		}, g)
+		c, err := j.newComm(g)
 		if err != nil {
 			return err
 		}
 		j.comms = append(j.comms, c)
 	}
+	// Pipeline cuts: a dedicated pair communicator per adjacent-stage
+	// boundary of every replica, the NCCL p2p idiom.
+	pp := j.plan.PP
+	for d := 0; d < j.plan.DP; d++ {
+		for s := 0; s < pp-1; s++ {
+			c, err := j.newComm([]int{j.nodes[d*pp+s], j.nodes[d*pp+s+1]})
+			if err != nil {
+				return err
+			}
+			j.pairComms = append(j.pairComms, c)
+		}
+	}
 	return nil
+}
+
+// allComms enumerates every open communicator (DP groups, then pairs).
+func (j *Job) allComms() []*accl.Communicator {
+	out := make([]*accl.Communicator, 0, len(j.comms)+len(j.pairComms))
+	for _, c := range j.comms {
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	return append(out, j.pairComms...)
 }
 
 // Nodes returns the job's current node assignment.
@@ -120,10 +199,8 @@ func (j *Job) SetStraggler(node int, extra sim.Time) { j.stragglers[node] = extr
 // SetCrashed marks a node crashed in every communicator: it stops arriving
 // at collectives and the job hangs, exactly like a dead worker process.
 func (j *Job) SetCrashed(node int, crashed bool) {
-	for _, c := range j.comms {
-		if c != nil {
-			c.SetCrashed(node, crashed)
-		}
+	for _, c := range j.allComms() {
+		c.SetCrashed(node, crashed)
 	}
 }
 
@@ -146,24 +223,52 @@ func (j *Job) Run(iters int, onDone func(Report)) {
 	j.iterate()
 }
 
-// Stop halts the job after the current collective completes.
+// Stop halts the job once the in-flight iteration completes.
 func (j *Job) Stop() { j.running = false }
 
 // Running reports whether the job loop is active.
 func (j *Job) Running() bool { return j.running }
 
-// iterate runs one optimizer step: compute (GA micro-batches + pipeline
-// bubble) with per-node jitter, then gradient sync per DP group.
+// iterate runs one optimizer step according to the compiled plan: the
+// fused compute-then-sync path for degenerate (pure-DP GA=1) schedules,
+// the 1F1B micro-batch DAG for everything else.
 func (j *Job) iterate() {
 	if !j.running || j.itersLeft <= 0 {
 		j.finish()
 		return
 	}
 	j.iterStart = j.cfg.Engine.Now()
+	if j.plan.Degenerate {
+		j.iterateFused()
+	} else {
+		j.iteratePlanned()
+	}
+}
+
+// completeIter records a finished iteration's duration and breakdown,
+// then starts the next one.
+func (j *Job) completeIter(dur, busy, bubble, exposed sim.Time) {
+	j.iterTimes = append(j.iterTimes, dur)
+	j.busySum += busy
+	j.bubbleSum += bubble
+	j.exposedSum += exposed
+	j.itersLeft--
+	if j.onIter != nil {
+		j.onIter(len(j.iterTimes)-1, dur)
+	}
+	j.iterate()
+}
+
+// iterateFused is the degenerate schedule's step: one lump of compute
+// with per-node jitter, then the whole gradient synchronized at once per
+// DP group. This is the pre-plan model, preserved byte for byte — every
+// RNG draw and engine event fires in the historical order.
+func (j *Job) iterateFused() {
 	base := j.cfg.Spec.IterComputeTime()
 
 	pending := 0
 	var lastEnd sim.Time
+	var maxArrive sim.Time
 	groupDone := func(end sim.Time) {
 		if end > lastEnd {
 			lastEnd = end
@@ -173,17 +278,16 @@ func (j *Job) iterate() {
 			return
 		}
 		dur := lastEnd - j.iterStart
-		j.iterTimes = append(j.iterTimes, dur)
-		j.itersLeft--
-		if j.onIter != nil {
-			j.onIter(len(j.iterTimes)-1, dur)
+		busy := maxArrive - j.iterStart
+		exposed := dur - busy
+		if exposed < 0 {
+			exposed = 0
 		}
-		j.iterate()
+		j.completeIter(dur, busy, 0, exposed)
 	}
 
 	bytes := j.cfg.Spec.Model.GradBytesPerRank(j.cfg.Spec.Par)
 	anyComm := false
-	var maxArrive sim.Time
 	for gi, g := range j.groups {
 		arr := make([]sim.Time, len(g))
 		for i, n := range g {
@@ -224,6 +328,89 @@ func (j *Job) iterate() {
 	}
 }
 
+// iteratePlanned executes one iteration of the compiled 1F1B schedule:
+// the plan executor drives compute slots and hands transfers back here,
+// where they ride the pair communicators (pipeline p2p) and the DP group
+// communicators (bucketed gradient sync).
+func (j *Job) iteratePlanned() {
+	p := j.plan
+	tm := plan.IterTiming{
+		Scale: make([][]float64, p.DP),
+		Extra: make([][]sim.Time, p.DP),
+	}
+	slots := sim.Time(2 * p.GA)
+	for d := 0; d < p.DP; d++ {
+		tm.Scale[d] = make([]float64, p.PP)
+		tm.Extra[d] = make([]sim.Time, p.PP)
+		for s := 0; s < p.PP; s++ {
+			node := j.nodes[d*p.PP+s]
+			sc := 1 + j.cfg.Spec.ComputeJitter*j.rand.NormFloat64()
+			if sc < 0 {
+				sc = 0
+			}
+			tm.Scale[d][s] = sc
+			// The straggler's per-iteration penalty, spread across the
+			// node's 2*GA compute slots.
+			tm.Extra[d][s] = j.stragglers[node] / slots
+		}
+	}
+	epoch := j.commEpoch
+	fab := plan.Fabric{
+		Engine: j.cfg.Engine,
+		P2P: func(replica, from, to int, bytes float64, ready sim.Time, done func(sim.Time)) {
+			if j.commEpoch == epoch {
+				j.p2p(replica, from, to, bytes, ready, done)
+			}
+		},
+		DPSync: func(stage int, bytes float64, arrivals []sim.Time, done func(sim.Time)) {
+			if j.commEpoch == epoch {
+				j.dpSync(stage, bytes, arrivals, done)
+			}
+		},
+	}
+	p.ExecIter(fab, tm, func(st plan.IterStats) {
+		if j.commEpoch != epoch {
+			return // abandoned iteration: comms were rebuilt underneath it
+		}
+		j.completeIter(st.IterTime(), st.MaxBusy, st.Bubble, st.Exposed)
+	})
+}
+
+// p2p ships a pipeline tensor between adjacent stages of one replica.
+func (j *Job) p2p(replica, from, to int, bytes float64, ready sim.Time, done func(sim.Time)) {
+	cut := from
+	src, dst := 0, 1
+	if to < from {
+		cut = to
+		src, dst = 1, 0
+	}
+	c := j.pairComms[replica*(j.plan.PP-1)+cut]
+	c.SendRecv(src, dst, bytes, ready, func(r accl.Result) { done(r.End) })
+}
+
+// dpSync synchronizes one gradient bucket of a stage across DP replicas.
+func (j *Job) dpSync(stage int, bytes float64, arrivals []sim.Time, done func(sim.Time)) {
+	comm := j.comms[stage]
+	if comm == nil {
+		// DP=1: nothing to synchronize; the bucket is "done" when ready.
+		at := j.cfg.Engine.Now()
+		for _, a := range arrivals {
+			if a > at {
+				at = a
+			}
+		}
+		j.cfg.Engine.Schedule(at, func() { done(at) })
+		return
+	}
+	if j.cfg.Spec.Par.ZeRO {
+		comm.ReduceScatter(bytes, arrivals, func(accl.Result) {
+			comm.AllGather(bytes, nil, func(r accl.Result) { done(r.End) })
+		})
+		return
+	}
+	comm.AllReduce(bytes, arrivals, func(r accl.Result) { done(r.End) })
+}
+
 func (j *Job) finish() {
 	j.running = false
 	if j.onDone == nil {
@@ -239,7 +426,11 @@ func (j *Job) finish() {
 		for _, t := range j.iterTimes {
 			sum += t
 		}
-		rep.AvgIter = sum / sim.Time(rep.Iters)
+		n := sim.Time(rep.Iters)
+		rep.AvgIter = sum / n
+		rep.AvgCompute = j.busySum / n
+		rep.AvgBubble = j.bubbleSum / n
+		rep.AvgExposed = j.exposedSum / n
 		if rep.AvgIter > 0 {
 			rep.SamplesPerSec = j.cfg.Spec.SamplesPerIter / rep.AvgIter.Seconds()
 		}
@@ -279,9 +470,7 @@ func (j *Job) ReplaceNode(old, repl int) error {
 
 // Close releases all communicators.
 func (j *Job) Close() {
-	for _, c := range j.comms {
-		if c != nil {
-			c.Close()
-		}
+	for _, c := range j.allComms() {
+		c.Close()
 	}
 }

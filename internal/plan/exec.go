@@ -1,0 +1,288 @@
+package plan
+
+import (
+	"fmt"
+
+	"c4/internal/sim"
+)
+
+// Fabric is the transport surface the executor drives. The job layer
+// implements it over ACCL communicators (point-to-point SendRecv between
+// adjacent stages, ring allreduce per DP group); tests implement it with
+// arithmetic stubs.
+type Fabric struct {
+	Engine *sim.Engine
+	// P2P ships bytes between the adjacent stages `from` and `to` of one
+	// pipeline replica, starting at the absolute instant `ready`; done
+	// fires with the delivery time.
+	P2P func(replica, from, to int, bytes float64, ready sim.Time, done func(end sim.Time))
+	// DPSync synchronizes one gradient bucket of `stage` across replicas;
+	// arrivals[d] is replica d's bucket-ready instant. done fires with
+	// the synchronization's completion time.
+	DPSync func(stage int, bytes float64, arrivals []sim.Time, done func(end sim.Time))
+}
+
+// IterTiming carries this iteration's per-node compute perturbations,
+// drawn by the caller (the job owns the RNG stream).
+type IterTiming struct {
+	// Scale[d][s] multiplies every compute slot of (replica d, stage s);
+	// 1 is nominal. Values are clamped at 0.
+	Scale [][]float64
+	// Extra[d][s] is added to every compute slot of the node — the
+	// straggler injection, pre-divided across the iteration's 2*GA slots.
+	Extra [][]sim.Time
+}
+
+// IterStats is the measured breakdown of one executed iteration:
+//
+//	IterTime = MaxBusy + Bubble + Exposed
+//
+// MaxBusy is the busiest node's total compute time, Bubble is the
+// pipeline idle before compute finished (warmup/drain slots plus any
+// stall waiting on activation transfers), and Exposed is the tail after
+// the last compute slot that only data-parallel synchronization occupies
+// — the share of the iteration that comm/compute overlap failed to hide,
+// the quantity the paper's Fig 14 gains track.
+type IterStats struct {
+	Start      sim.Time
+	End        sim.Time
+	ComputeEnd sim.Time // end of the last compute slot
+	MaxBusy    sim.Time // busiest node's summed slot durations
+	Bubble     sim.Time // ComputeEnd - Start - MaxBusy
+	Exposed    sim.Time // End - ComputeEnd
+}
+
+// IterTime is the iteration's wall duration.
+func (s IterStats) IterTime() sim.Time { return s.End - s.Start }
+
+// exec is the mutable state of one iteration in flight.
+type exec struct {
+	p     *Plan
+	f     Fabric
+	tm    IterTiming
+	start sim.Time
+
+	st [][]*stageState // [replica][stage]
+
+	// bucketReady[s][i] collects per-replica ready instants for bucket i
+	// of stage s; the sync launches when the last replica reports in.
+	bucketReady [][][]sim.Time
+	bucketSeen  [][]int
+
+	computeLeft int
+	syncLeft    int
+	computeEnd  sim.Time
+	onDone      func(IterStats)
+	finished    bool
+}
+
+type stageState struct {
+	idx       int      // next task in Order[s]
+	busyUntil sim.Time // end of the last scheduled compute slot
+	busy      sim.Time // summed slot durations
+	// actAt[m] is the arrival instant of micro-batch m's activation from
+	// the upstream stage; -1 until delivered. Stage 0 needs none.
+	actAt []sim.Time
+	// gradAt[m] is the arrival of m's gradient from the downstream stage;
+	// -1 until delivered. The last stage needs none.
+	gradAt []sim.Time
+}
+
+// ExecIter runs one iteration of the plan starting at the engine's
+// current instant; onDone fires at the iteration's completion with the
+// measured breakdown. The caller must not start a second iteration of
+// the same plan before the first completes (stages are serial).
+func (p *Plan) ExecIter(f Fabric, tm IterTiming, onDone func(IterStats)) {
+	if f.Engine == nil || f.P2P == nil || f.DPSync == nil {
+		panic("plan: ExecIter needs Engine, P2P and DPSync")
+	}
+	e := &exec{
+		p: p, f: f, tm: tm,
+		start:       f.Engine.Now(),
+		computeLeft: p.DP * p.PP * 2 * p.GA,
+		syncLeft:    p.PP * len(p.Buckets),
+		onDone:      onDone,
+	}
+	e.st = make([][]*stageState, p.DP)
+	for d := range e.st {
+		e.st[d] = make([]*stageState, p.PP)
+		for s := range e.st[d] {
+			st := &stageState{busyUntil: e.start}
+			st.actAt = unknownTimes(p.GA)
+			st.gradAt = unknownTimes(p.GA)
+			e.st[d][s] = st
+		}
+	}
+	e.bucketReady = make([][][]sim.Time, p.PP)
+	e.bucketSeen = make([][]int, p.PP)
+	for s := range e.bucketReady {
+		e.bucketReady[s] = make([][]sim.Time, len(p.Buckets))
+		for i := range e.bucketReady[s] {
+			e.bucketReady[s][i] = make([]sim.Time, p.DP)
+		}
+		e.bucketSeen[s] = make([]int, len(p.Buckets))
+	}
+	for d := 0; d < p.DP; d++ {
+		for s := 0; s < p.PP; s++ {
+			e.try(d, s)
+		}
+	}
+}
+
+func unknownTimes(n int) []sim.Time {
+	out := make([]sim.Time, n)
+	for i := range out {
+		out[i] = -1
+	}
+	return out
+}
+
+// slotDur is the perturbed duration of one compute slot on (d, s).
+func (e *exec) slotDur(kind TaskKind, d, s int) sim.Time {
+	nominal := e.p.FwdTime
+	if kind == Bwd {
+		nominal = e.p.BwdTime
+	}
+	scale := 1.0
+	if d < len(e.tm.Scale) && s < len(e.tm.Scale[d]) {
+		scale = e.tm.Scale[d][s]
+	}
+	if scale < 0 {
+		scale = 0
+	}
+	dur := sim.Time(float64(nominal) * scale)
+	if d < len(e.tm.Extra) && s < len(e.tm.Extra[d]) {
+		dur += e.tm.Extra[d][s]
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	return dur
+}
+
+// try schedules stage (d, s)'s next tasks for as long as their data
+// dependencies are already determined. Every dependency's arrival
+// callback re-invokes try, so the stage resumes the moment it unblocks.
+func (e *exec) try(d, s int) {
+	st := e.st[d][s]
+	order := e.p.Order[s]
+	for st.idx < len(order) {
+		t := order[st.idx]
+		dep := e.start
+		switch {
+		case t.Kind == Fwd && s > 0:
+			if st.actAt[t.MB] < 0 {
+				return // activation still in flight (or not yet sent)
+			}
+			dep = st.actAt[t.MB]
+		case t.Kind == Bwd && s < e.p.PP-1:
+			if st.gradAt[t.MB] < 0 {
+				return // downstream gradient still in flight
+			}
+			dep = st.gradAt[t.MB]
+		}
+		begin := st.busyUntil
+		if dep > begin {
+			begin = dep
+		}
+		end := begin + e.slotDur(t.Kind, d, s)
+		st.busyUntil = end
+		st.busy += end - begin
+		st.idx++
+		// The final backward pass's bucket-ready instants are known the
+		// moment the slot is scheduled; record them now so the DP sync
+		// can launch with future arrival times, exactly as the fused
+		// model posts its allreduce at iteration start.
+		if t.Kind == Bwd && t.MB == e.p.GA-1 {
+			e.recordBuckets(d, s, begin, end)
+		}
+		e.f.Engine.Schedule(end, func() { e.completeSlot(d, s, t, begin, end) })
+	}
+}
+
+// recordBuckets marks replica d's gradient buckets of stage s ready
+// within its final backward slot [begin, end] (overlap on) or at its end
+// (overlap off), launching each bucket's sync once every replica has
+// reported.
+func (e *exec) recordBuckets(d, s int, begin, end sim.Time) {
+	nb := len(e.p.Buckets)
+	span := end - begin
+	for i := 0; i < nb; i++ {
+		at := end
+		if e.p.Opts.Overlap {
+			at = begin + sim.Time(float64(span)*float64(i+1)/float64(nb))
+		}
+		e.bucketReady[s][i][d] = at
+		e.bucketSeen[s][i]++
+		if e.bucketSeen[s][i] == e.p.DP {
+			e.f.DPSync(s, e.p.Buckets[i], e.bucketReady[s][i], func(at sim.Time) {
+				e.syncLeft--
+				e.maybeFinish(at)
+			})
+		}
+	}
+}
+
+// completeSlot runs at a compute slot's end instant: it ships the slot's
+// output tensor, wakes the neighbor stage, and closes the iteration's
+// compute accounting.
+func (e *exec) completeSlot(d, s int, t Task, begin, end sim.Time) {
+	if end > e.computeEnd {
+		e.computeEnd = end
+	}
+	switch {
+	case t.Kind == Fwd && s < e.p.PP-1:
+		mb := t.MB
+		e.f.P2P(d, s, s+1, e.p.ActBytes, end, func(at sim.Time) {
+			e.st[d][s+1].actAt[mb] = at
+			e.try(d, s+1)
+		})
+	case t.Kind == Bwd && s > 0:
+		mb := t.MB
+		e.f.P2P(d, s, s-1, e.p.ActBytes, end, func(at sim.Time) {
+			e.st[d][s-1].gradAt[mb] = at
+			e.try(d, s-1)
+		})
+	}
+	e.computeLeft--
+	e.maybeFinish(end)
+}
+
+// maybeFinish closes the iteration when compute and synchronization have
+// both drained.
+func (e *exec) maybeFinish(at sim.Time) {
+	if e.finished || e.computeLeft > 0 || e.syncLeft > 0 {
+		return
+	}
+	e.finished = true
+	var maxBusy sim.Time
+	for _, row := range e.st {
+		for _, st := range row {
+			if st.idx != len(e.p.Order[0]) {
+				panic(fmt.Sprintf("plan: iteration finished with stage at task %d/%d",
+					st.idx, len(e.p.Order[0])))
+			}
+			if st.busy > maxBusy {
+				maxBusy = st.busy
+			}
+		}
+	}
+	end := at
+	if e.computeEnd > end {
+		end = e.computeEnd
+	}
+	stats := IterStats{
+		Start:      e.start,
+		End:        end,
+		ComputeEnd: e.computeEnd,
+		MaxBusy:    maxBusy,
+		Bubble:     e.computeEnd - e.start - maxBusy,
+		Exposed:    end - e.computeEnd,
+	}
+	if stats.Bubble < 0 {
+		stats.Bubble = 0
+	}
+	if e.onDone != nil {
+		e.onDone(stats)
+	}
+}

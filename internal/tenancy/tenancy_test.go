@@ -263,3 +263,38 @@ func TestDegenerateRunsProduceFiniteMetrics(t *testing.T) {
 		}
 	}
 }
+
+func TestPipelineTenantRunsThePlannedSchedule(t *testing.T) {
+	// A PP2/GA2 tenant next to a pure-DP one: both must progress, and the
+	// pipeline tenant's spec must compile to stages rather than pure DP.
+	trace := Trace{Events: []TraceEvent{
+		{AtS: 0, Name: "pipe", Nodes: 4, DurationS: 30, PP: 2, GA: 2, ComputeMS: 150},
+		{AtS: 0.5, Name: "flat", Nodes: 4, DurationS: 30, ComputeMS: 150},
+	}}
+	if err := trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	spec := trace.Events[0].Spec([]int{0, 1, 2, 3})
+	if spec.Par.PP != 2 || spec.Par.DP != 2 || spec.Par.GA != 2 {
+		t.Fatalf("pipeline spec parallelism = %v, want TP8/PP2/DP2/GA2", spec.Par)
+	}
+	res := Run(Config{Horizon: 40 * sim.Second, Seed: 3, Trace: trace})
+	for _, s := range res.Jobs {
+		if !s.Admitted || s.Iters == 0 {
+			t.Fatalf("%s made no progress: %+v", s.Name, s)
+		}
+	}
+}
+
+func TestTraceValidateRejectsBadParallelism(t *testing.T) {
+	cases := map[string]TraceEvent{
+		"pp not dividing": {AtS: 0, Nodes: 3, DurationS: 5, PP: 2},
+		"negative pp":     {AtS: 0, Nodes: 4, DurationS: 5, PP: -1},
+		"negative ga":     {AtS: 0, Nodes: 4, DurationS: 5, GA: -2},
+	}
+	for name, ev := range cases {
+		if err := (Trace{Events: []TraceEvent{ev}}).Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, ev)
+		}
+	}
+}

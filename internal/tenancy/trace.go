@@ -34,6 +34,14 @@ type TraceEvent struct {
 	// zero defaults to 200 ms. Smaller values make the job more
 	// communication-bound and therefore more collision-sensitive.
 	ComputeMS float64 `json:"compute_ms,omitempty"`
+	// PP is the job's pipeline-parallel depth (must divide Nodes); 0 or 1
+	// means pure data parallelism. Pipeline tenants put stage-to-stage
+	// activation traffic on the shared fabric in addition to their DP
+	// gradient sync — the mixed PP+DP load of the plan/* scenarios.
+	PP int `json:"pp,omitempty"`
+	// GA is the gradient-accumulation depth; 0 or 1 means one micro-batch
+	// per optimizer step. GA>1 compiles to the full 1F1B schedule.
+	GA int `json:"ga,omitempty"`
 }
 
 const defaultComputeMS = 200
@@ -50,7 +58,14 @@ func (ev TraceEvent) Spec(nodes []int) workload.JobSpec {
 	if ms <= 0 {
 		ms = defaultComputeMS
 	}
-	return workload.TenantSpec(ev.Name, model, nodes, sim.FromSeconds(ms/1e3))
+	spec := workload.TenantSpec(ev.Name, model, nodes, sim.FromSeconds(ms/1e3))
+	if ev.PP > 1 {
+		par := workload.Parallelism{TP: 8, PP: ev.PP, DP: len(nodes) / ev.PP, GA: ev.GA}
+		spec.Par = par.Normalize()
+	} else if ev.GA > 1 {
+		spec.Par.GA = ev.GA
+	}
+	return spec
 }
 
 // Trace is a replayable arrival schedule.
@@ -68,6 +83,11 @@ func (t Trace) Validate() error {
 			return fmt.Errorf("tenancy: event %d (%s) requests %d nodes", i, ev.Name, ev.Nodes)
 		case ev.DurationS <= 0:
 			return fmt.Errorf("tenancy: event %d (%s) has duration %v s", i, ev.Name, ev.DurationS)
+		case ev.PP < 0 || ev.GA < 0:
+			return fmt.Errorf("tenancy: event %d (%s) has negative pp/ga", i, ev.Name)
+		case ev.PP > 1 && ev.Nodes%ev.PP != 0:
+			return fmt.Errorf("tenancy: event %d (%s): pp %d does not divide %d nodes",
+				i, ev.Name, ev.PP, ev.Nodes)
 		}
 		if ev.Model != "" {
 			if _, ok := workload.ModelByName(ev.Model); !ok {

@@ -8,6 +8,8 @@ package workload
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
 	"strings"
 
 	"c4/internal/sim"
@@ -33,20 +35,32 @@ var (
 	Llama13B = Model{Name: "Llama-13B", Params: 13e9, BytesPerGrad: 2}
 )
 
+// modelsByName is the single source of truth for short model names; both
+// ModelByName and ModelNames derive from it so CLI help, trace validation
+// errors and the resolver can never disagree.
+var modelsByName = map[string]Model{
+	"gpt22b":   GPT22B,
+	"gpt175b":  GPT175B,
+	"llama7b":  Llama7B,
+	"llama13b": Llama13B,
+}
+
 // ModelByName resolves a paper model by the short name used in arrival
 // traces and CLI flags (case-insensitive, dashes optional).
 func ModelByName(name string) (Model, bool) {
-	switch strings.ReplaceAll(strings.ToLower(name), "-", "") {
-	case "gpt22b":
-		return GPT22B, true
-	case "gpt175b":
-		return GPT175B, true
-	case "llama7b":
-		return Llama7B, true
-	case "llama13b":
-		return Llama13B, true
+	m, ok := modelsByName[strings.ReplaceAll(strings.ToLower(name), "-", "")]
+	return m, ok
+}
+
+// ModelNames returns the short names ModelByName accepts, sorted — the
+// list CLI flag help and error messages print.
+func ModelNames() []string {
+	out := make([]string, 0, len(modelsByName))
+	for name := range modelsByName {
+		out = append(out, name)
 	}
-	return Model{}, false
+	sort.Strings(out)
+	return out
 }
 
 // TenantSpec builds the job a multi-tenant arrival describes: pure data
@@ -81,6 +95,48 @@ func (p Parallelism) String() string {
 		z = "+ZeRO"
 	}
 	return fmt.Sprintf("TP%d/PP%d/DP%d/GA%d%s", p.TP, p.PP, p.DP, p.GA, z)
+}
+
+// ParseParallelism parses a strategy string like "tp8/pp4/dp2/ga8":
+// case-insensitive fields in any order, separated by '/', '-', 'x' or
+// ','; omitted fields default to 1 (via Normalize), and "zero" marks
+// DeepSpeed ZeRO sharding.
+func ParseParallelism(s string) (Parallelism, error) {
+	var p Parallelism
+	fields := strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return r == '/' || r == '-' || r == 'x' || r == ','
+	})
+	if len(fields) == 0 {
+		return p, fmt.Errorf("workload: empty parallelism %q", s)
+	}
+	for _, f := range fields {
+		if f == "zero" {
+			p.ZeRO = true
+			continue
+		}
+		var dst *int
+		switch {
+		case strings.HasPrefix(f, "tp"):
+			dst = &p.TP
+		case strings.HasPrefix(f, "pp"):
+			dst = &p.PP
+		case strings.HasPrefix(f, "dp"):
+			dst = &p.DP
+		case strings.HasPrefix(f, "ga"):
+			dst = &p.GA
+		default:
+			return p, fmt.Errorf("workload: bad parallelism field %q in %q (want tp/pp/dp/ga<N> or zero)", f, s)
+		}
+		n, err := strconv.Atoi(f[2:])
+		if err != nil || n <= 0 {
+			return p, fmt.Errorf("workload: bad parallelism field %q in %q (want a positive count)", f, s)
+		}
+		if *dst != 0 {
+			return p, fmt.Errorf("workload: duplicate parallelism field %q in %q", f, s)
+		}
+		*dst = n
+	}
+	return p.Normalize(), nil
 }
 
 // Normalize fills zero fields with 1.

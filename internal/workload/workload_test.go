@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"sort"
+	"strings"
 	"testing"
 
 	"c4/internal/sim"
@@ -126,6 +128,90 @@ func TestFig14JobsShape(t *testing.T) {
 	for _, j := range jobs {
 		if len(j.Nodes) != 16 {
 			t.Fatalf("%s nodes = %d", j.Name, len(j.Nodes))
+		}
+	}
+}
+
+func TestModelNamesSortedAndResolvable(t *testing.T) {
+	names := ModelNames()
+	if len(names) != 4 {
+		t.Fatalf("ModelNames = %v, want 4 entries", names)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("ModelNames not sorted: %v", names)
+	}
+	for _, n := range names {
+		if _, ok := ModelByName(n); !ok {
+			t.Errorf("ModelNames entry %q does not resolve", n)
+		}
+	}
+}
+
+func TestNormalizeFillsZeroFields(t *testing.T) {
+	p := Parallelism{}.Normalize()
+	if p.TP != 1 || p.PP != 1 || p.DP != 1 || p.GA != 1 {
+		t.Fatalf("Normalize(zero) = %+v, want all 1", p)
+	}
+	// Set fields survive, including ZeRO; negatives normalize to 1 too.
+	p = Parallelism{TP: 8, PP: -3, DP: 4, ZeRO: true}.Normalize()
+	if p.TP != 8 || p.PP != 1 || p.DP != 4 || p.GA != 1 || !p.ZeRO {
+		t.Fatalf("Normalize = %+v", p)
+	}
+}
+
+func TestDPGroupsNodeCountMismatchError(t *testing.T) {
+	spec := JobSpec{
+		Name:  "mismatch",
+		Model: GPT22B,
+		Par:   Parallelism{TP: 8, PP: 2, DP: 4},
+		Nodes: []int{0, 1, 2}, // needs 8
+	}
+	_, err := spec.DPGroups()
+	if err == nil {
+		t.Fatal("DPGroups accepted a 3-node PP2xDP4 job")
+	}
+	for _, want := range []string{"mismatch", "3", "8"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q should name the job and both counts (missing %q)", err, want)
+		}
+	}
+}
+
+func TestGradBytesPerRankInvariantUnderDP(t *testing.T) {
+	base := GPT175B.GradBytesPerRank(Parallelism{TP: 8, PP: 4, DP: 1})
+	for _, dp := range []int{2, 4, 16} {
+		if got := GPT175B.GradBytesPerRank(Parallelism{TP: 8, PP: 4, DP: dp}); got != base {
+			t.Fatalf("DP=%d changed grad bytes: %g vs %g (DP replicates, never shards)", dp, got, base)
+		}
+	}
+	// And the volume divides by exactly TP*PP.
+	full := GPT175B.GradBytesPerRank(Parallelism{})
+	if got := GPT175B.GradBytesPerRank(Parallelism{TP: 8, PP: 4}); got != full/32 {
+		t.Fatalf("TP8xPP4 shard = %g, want params*bytes/32 = %g", got, full/32)
+	}
+}
+
+func TestParseParallelism(t *testing.T) {
+	cases := map[string]Parallelism{
+		"tp8/pp4/dp2/ga8": {TP: 8, PP: 4, DP: 2, GA: 8},
+		"TP8-DP16":        {TP: 8, PP: 1, DP: 16, GA: 1},
+		"dp16xga2":        {TP: 1, PP: 1, DP: 16, GA: 2},
+		"dp16,zero":       {TP: 1, PP: 1, DP: 16, GA: 1, ZeRO: true},
+		"pp2/tp8/ga4/dp2": {TP: 8, PP: 2, DP: 2, GA: 4},
+	}
+	for in, want := range cases {
+		got, err := ParseParallelism(in)
+		if err != nil {
+			t.Errorf("ParseParallelism(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseParallelism(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "qp4", "tp0", "tp-8", "tpfoo", "tp8/tp4"} {
+		if p, err := ParseParallelism(bad); err == nil {
+			t.Errorf("ParseParallelism(%q) accepted as %+v", bad, p)
 		}
 	}
 }
