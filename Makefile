@@ -8,9 +8,9 @@
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check test test-race tenancy-smoke telemetry-smoke \
-	plan-smoke ci bench experiments bench-json bench-baseline bench-check \
-	cover clean
+.PHONY: all build vet fmt-check test test-race kernel-race tenancy-smoke \
+	telemetry-smoke plan-smoke ci bench experiments bench-json \
+	bench-baseline bench-check cover clean
 
 all: ci
 
@@ -35,6 +35,14 @@ test:
 test-race:
 	$(GO) test -race -short ./...
 
+# The network kernel's parallel component settle under the race detector,
+# without -short: the full kernel-equivalence suite (netsim unit tests,
+# engine heap tests, collective-level accl tests) plus the 256-node
+# netsim/scale-* scenarios, which fill many components on worker pools.
+kernel-race:
+	$(GO) test -race ./internal/sim/ ./internal/netsim/ ./internal/accl/
+	$(GO) run -race ./cmd/c4bench -only 'netsim/*'
+
 # One small multi-tenant churn trial through the registry: Poisson job
 # arrivals/departures on a shared fabric, with the shape check asserting
 # every tenant made progress. Fast enough to run on every CI push.
@@ -53,11 +61,13 @@ telemetry-smoke:
 plan-smoke:
 	$(GO) run ./cmd/c4bench -only plan/overlap-ablation
 
-ci: fmt-check vet build test test-race tenancy-smoke telemetry-smoke plan-smoke
+ci: fmt-check vet build test test-race kernel-race tenancy-smoke telemetry-smoke plan-smoke
 
 # Microbenchmarks, including the incremental-vs-full-recompute pair
 # (internal/telemetry: BenchmarkIncrementalObserve vs
-# BenchmarkBatchAnalyzePass) behind the online/scale-sweep scenario.
+# BenchmarkBatchAnalyzePass) behind the online/scale-sweep scenario and
+# the network-kernel trio (internal/netsim: BenchmarkRecomputePerFlow vs
+# BenchmarkRecomputeAggregated vs BenchmarkSettleParallel).
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 

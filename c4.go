@@ -89,8 +89,12 @@ type (
 	Topology = topo.Topology
 	// Network is the flow-level fluid simulator.
 	Network = netsim.Network
-	// NetConfig tunes the network simulator.
+	// NetConfig tunes the network simulator, including the flow-class
+	// kernel (Aggregate) and parallel component settle (SettleWorkers).
 	NetConfig = netsim.Config
+	// KernelStats counts the network kernel's deterministic work
+	// (recomputes, link visits, flow visits).
+	KernelStats = netsim.KernelStats
 )
 
 // PaperTestbed is the paper's Table II testbed (16 nodes × 8 H800 GPUs,

@@ -1,0 +1,73 @@
+package accl
+
+import (
+	"fmt"
+	"testing"
+
+	"c4/internal/netsim"
+	"c4/internal/sim"
+	"c4/internal/topo"
+)
+
+// TestCollectivesEquivalentAcrossKernels runs a multi-op collective
+// workload — a cross-group ring allreduce, an allgather, and a broadcast
+// tree racing on one fabric — under the per-flow, aggregated, and
+// parallel-settle netsim kernels. The collective layer sees the network
+// only through flow completion instants, so every result (start, end,
+// busbw) and the engine's fired-event count must be bit-identical across
+// kernels.
+func TestCollectivesEquivalentAcrossKernels(t *testing.T) {
+	type outcome struct {
+		results string
+		fired   uint64
+	}
+	run := func(cfg netsim.Config) outcome {
+		eng := sim.NewEngine()
+		tp := topo.MustNew(topo.PaperTestbed())
+		net := netsim.New(eng, tp, cfg)
+		rec := &Recorder{}
+		mk := func(nodes []int) *Communicator {
+			c, err := NewCommunicator(Config{
+				Engine: eng, Net: net, Provider: newPlannedProvider(tp), Sink: rec,
+			}, nodes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+		var results string
+		done := func(op string) func(Result) {
+			return func(r Result) {
+				results += fmt.Sprintf("%s: start=%d end=%d bus=%v\n", op, r.Start, r.End, r.BusGbps)
+			}
+		}
+		mk([]int{0, 2, 4, 6}).AllReduce(256*MiB, nil, done("allreduce"))
+		mk([]int{1, 3, 5, 7}).AllGather(64*MiB, nil, done("allgather"))
+		mk([]int{8, 10, 12, 14}).Broadcast(128*MiB, nil, done("broadcast"))
+		eng.Run()
+		return outcome{results: results, fired: eng.Fired()}
+	}
+
+	base := netsim.DefaultConfig()
+	agg := base
+	agg.Aggregate = true
+	par := agg
+	par.SettleWorkers = 4
+
+	ref := run(base)
+	if ref.results == "" {
+		t.Fatal("no collective completed")
+	}
+	for _, kc := range []struct {
+		name string
+		cfg  netsim.Config
+	}{{"aggregated", agg}, {"parallel", par}} {
+		got := run(kc.cfg)
+		if got.results != ref.results {
+			t.Errorf("%s kernel diverged:\n%s\nper-flow:\n%s", kc.name, got.results, ref.results)
+		}
+		if got.fired != ref.fired {
+			t.Errorf("%s kernel fired %d events, per-flow fired %d", kc.name, got.fired, ref.fired)
+		}
+	}
+}

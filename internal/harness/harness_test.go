@@ -173,6 +173,7 @@ func TestRegistryCoversHarness(t *testing.T) {
 		"ablation-qp", "campaign/flap-sweep", "campaign/degrade-sweep",
 		"campaign/outage-sweep", "campaign/straggler-sweep", "campaign/mixed",
 		"online/detection-latency", "online/cadence-sweep", "online/scale-sweep",
+		"netsim/scale-aggregate", "netsim/scale-parallel", "netsim/scale-sweep",
 	} {
 		if _, ok := scenario.Get(name); !ok {
 			t.Errorf("scenario %q not registered", name)

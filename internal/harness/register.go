@@ -254,4 +254,5 @@ func init() {
 	registerTenancy()
 	registerOnline()
 	registerPlan()
+	registerScale()
 }

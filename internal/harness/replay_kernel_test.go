@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"testing"
+
+	"c4/internal/netsim"
+	"c4/internal/scenario"
+)
+
+// TestAggregatedKernelReplaysFamilies is the whole-repo equivalence proof
+// for the flow-class kernel rebuild: representative scenarios from the
+// figure, tenancy and planner families — code that builds its own engines
+// and networks internally — are replayed through the aggregated kernel
+// (serial and parallel settle) via the ForceAggregate override, and their
+// renderings must match the committed per-flow behavior byte for byte.
+// The fault campaigns join in outside -short.
+func TestAggregatedKernelReplaysFamilies(t *testing.T) {
+	names := []string{
+		"fig9", "fig12",
+		"tenancy/collision-sweep", "tenancy/placement-compare",
+		"plan/bucket-sweep", "plan/overlap-ablation",
+	}
+	if !testing.Short() {
+		names = append(names, "campaign/mixed")
+	}
+	const seed = 1
+	for _, name := range names {
+		s, ok := scenario.Get(name)
+		if !ok {
+			t.Fatalf("scenario %q not registered", name)
+		}
+		ref := s.Run(scenario.NewCtx(seed)).String()
+		for _, workers := range []int{0, 4} {
+			restore := netsim.ForceAggregate(workers)
+			got := s.Run(scenario.NewCtx(seed)).String()
+			restore()
+			if got != ref {
+				t.Errorf("scenario %s: aggregated kernel (workers=%d) diverged from per-flow\naggregated:\n%s\nper-flow:\n%s",
+					name, workers, got, ref)
+			}
+		}
+	}
+}

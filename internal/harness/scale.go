@@ -1,0 +1,392 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"c4/internal/metrics"
+	"c4/internal/netsim"
+	"c4/internal/scenario"
+	"c4/internal/sim"
+	"c4/internal/topo"
+)
+
+// This file registers the netsim/scale-* family: the flow-class kernel
+// rebuild measured at datacenter scale. Each scenario drives the same
+// gang-partitioned world — groups of 8 nodes running ring traffic, the
+// communication shape of pure-DP training with gang scheduling — through
+// two or more kernel configurations and holds them to the rebuild's oath:
+// the aggregated and parallel kernels must reproduce the per-flow
+// reference bit for bit while doing an order of magnitude less work.
+// Work is scored in KernelStats link visits, a deterministic step count
+// safe for the bench-regression baseline.
+
+// scaleSpec is the gang-partitioned datacenter slice the family runs on:
+// groups of 8 nodes on a 2-rail, 4-spine fabric.
+func scaleSpec(nodes int) topo.Spec {
+	return topo.Spec{
+		Nodes:         nodes,
+		GPUsPerNode:   8,
+		Rails:         2,
+		NodesPerGroup: 8,
+		Spines:        4,
+		PortGbps:      200,
+		NVLinkGbps:    362,
+	}
+}
+
+// scaleFlowsPerPair models one ring edge's transfer as 2 QPs with 16
+// chunks in flight each: 32 equal-path flows that collapse into a single
+// flow class.
+const scaleFlowsPerPair = 32
+
+// scaleComponents is how many independent link components the gang world
+// decomposes into: ring edge i of each gang runs on (plane i%2, spine
+// i%4), so edges sharing both coordinates chain through the same leaf-up
+// link — lcm(planes, spines) = 4 components per gang.
+func scaleComponents(nodes int) int { return scaleSpec(nodes).Groups() * 4 }
+
+// ScaleArm is one kernel configuration's complete run of the gang world:
+// the observables that must match across kernels (makespan, probe bytes,
+// event count) plus the work counters that must not.
+type ScaleArm struct {
+	Kernel     string
+	Flows      int
+	Completed  int
+	Makespan   sim.Time
+	Probe0     float64 // carried bits on node 0's rail-0/plane-0 uplink
+	Probe1     float64 // carried bits on node 1's rail-0/plane-1 uplink
+	Events     uint64
+	Recomputes uint64
+	LinkVisits uint64
+	Classes    int // live flow classes mid-run (0 under per-flow)
+	Components int // link components mid-run (0 under per-flow)
+}
+
+// runScaleArm builds a fresh engine, fabric and network under cfg, starts
+// flowsPerPair flows on every ring edge of every gang, and runs to
+// completion. Sizes vary per edge and member — not per group — so
+// completions arrive in many deterministic waves, each one a recompute,
+// and matching flows of different gangs finish at the same instant.
+func runScaleArm(ctx *scenario.Ctx, nodes, flowsPerPair int, cfg netsim.Config, kernel string) ScaleArm {
+	eng := sim.NewEngine()
+	tp := topo.MustNew(scaleSpec(nodes))
+	n := netsim.New(eng, tp, cfg)
+	ctx.Track(eng)
+
+	arm := ScaleArm{Kernel: kernel}
+	finish := func(f *netsim.Flow) {
+		arm.Completed++
+		arm.Makespan = eng.Now()
+	}
+	spec := tp.Spec
+	for g := 0; g < spec.Groups(); g++ {
+		for i := 0; i < spec.NodesPerGroup; i++ {
+			src := g*spec.NodesPerGroup + i
+			dst := g*spec.NodesPerGroup + (i+1)%spec.NodesPerGroup
+			plane := i % topo.Planes
+			p, err := tp.PathFor(src, dst, 0, plane, i%spec.Spines, plane)
+			if err != nil {
+				panic(err)
+			}
+			for k := 0; k < flowsPerPair; k++ {
+				size := 20e9 * (1 + 0.11*float64(k) + 0.013*float64(i))
+				n.StartFlow(p, size, fmt.Sprintf("g%d-e%d-m%d", g, i, k), finish)
+				arm.Flows++
+			}
+		}
+	}
+	// Sample the class/component census mid-run, after every flow has been
+	// admitted and long before the first completion.
+	eng.Schedule(sim.Second, func() {
+		arm.Classes = n.ClassCount()
+		arm.Components = n.ComponentCount()
+	})
+	eng.Run()
+
+	st := n.Stats()
+	arm.Recomputes = st.Recomputes
+	arm.LinkVisits = st.LinkVisits
+	arm.Probe0 = n.CarriedBits(tp.PortAt(0, 0, 0).Up)
+	arm.Probe1 = n.CarriedBits(tp.PortAt(1, 0, 1).Up)
+	arm.Events = eng.Fired()
+	return arm
+}
+
+// armDiverged compares the observables of two arms; any difference is a
+// kernel-equivalence bug, not tolerance-worthy noise.
+func armDiverged(ref, a ScaleArm) error {
+	if a.Makespan != ref.Makespan {
+		return fmt.Errorf("%s makespan %v != %s %v", a.Kernel, a.Makespan, ref.Kernel, ref.Makespan)
+	}
+	if a.Probe0 != ref.Probe0 || a.Probe1 != ref.Probe1 {
+		return fmt.Errorf("%s probe bits (%g, %g) != %s (%g, %g)",
+			a.Kernel, a.Probe0, a.Probe1, ref.Kernel, ref.Probe0, ref.Probe1)
+	}
+	if a.Events != ref.Events {
+		return fmt.Errorf("%s fired %d events != %s %d", a.Kernel, a.Events, ref.Kernel, ref.Events)
+	}
+	return nil
+}
+
+// ScaleKernelResult compares kernel arms on one world: every arm after the
+// first must match the first bit for bit, and optionally the last arm must
+// beat the first by WantRatio in link visits or decompose the fabric into
+// WantComponents independent filling problems.
+type ScaleKernelResult struct {
+	Nodes          int
+	Arms           []ScaleArm
+	WantRatio      float64
+	WantComponents int
+}
+
+// WorkRatio is reference work over rebuilt-kernel work in link visits.
+func (r ScaleKernelResult) WorkRatio() float64 {
+	last := r.Arms[len(r.Arms)-1]
+	if last.LinkVisits == 0 {
+		return 0
+	}
+	return float64(r.Arms[0].LinkVisits) / float64(last.LinkVisits)
+}
+
+// String renders the per-kernel table.
+func (r ScaleKernelResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "netsim kernels on the %d-node gang world (%d flows)\n", r.Nodes, r.Arms[0].Flows)
+	rows := make([][]string, len(r.Arms))
+	for i, a := range r.Arms {
+		rows[i] = []string{
+			a.Kernel,
+			fmt.Sprintf("%.3f s", a.Makespan.Seconds()),
+			fmt.Sprintf("%d", a.Recomputes),
+			fmt.Sprintf("%d", a.LinkVisits),
+			fmt.Sprintf("%d", a.Classes),
+			fmt.Sprintf("%d", a.Components),
+		}
+	}
+	sb.WriteString(metrics.Table([]string{"kernel", "makespan", "recomputes", "link visits", "classes", "components"}, rows))
+	if r.WantRatio > 0 {
+		fmt.Fprintf(&sb, "work ratio %.1fx (want >= %.0fx)\n", r.WorkRatio(), r.WantRatio)
+	}
+	return sb.String()
+}
+
+// CheckShape holds the family's oath: bit-identical observables across
+// kernels, full completion, and the promised work reduction.
+func (r ScaleKernelResult) CheckShape() error {
+	ref := r.Arms[0]
+	for _, a := range r.Arms {
+		if a.Completed != a.Flows {
+			return fmt.Errorf("%s completed %d of %d flows", a.Kernel, a.Completed, a.Flows)
+		}
+		if err := armDiverged(ref, a); err != nil {
+			return err
+		}
+	}
+	last := r.Arms[len(r.Arms)-1]
+	if r.WantRatio > 0 && r.WorkRatio() < r.WantRatio {
+		return fmt.Errorf("work ratio %.1fx below the promised %.0fx (%d vs %d link visits)",
+			r.WorkRatio(), r.WantRatio, ref.LinkVisits, last.LinkVisits)
+	}
+	if r.WantComponents > 0 && last.Components != r.WantComponents {
+		return fmt.Errorf("%s saw %d link components, want %d (four per gang)",
+			last.Kernel, last.Components, r.WantComponents)
+	}
+	return nil
+}
+
+// Metrics feeds the bench-regression baseline; every number is a
+// deterministic step count or virtual time.
+func (r ScaleKernelResult) Metrics() map[string]float64 {
+	last := r.Arms[len(r.Arms)-1]
+	return map[string]float64{
+		"makespan_s":     r.Arms[0].Makespan.Seconds(),
+		"work_ratio":     r.WorkRatio(),
+		"ref_linkvisits": float64(r.Arms[0].LinkVisits),
+		"new_linkvisits": float64(last.LinkVisits),
+		"classes":        float64(last.Classes),
+		"components":     float64(last.Components),
+	}
+}
+
+// runScaleAggregate races the per-flow reference against the flow-class
+// kernel on a 256-node world and demands a >= 10x work reduction with
+// bit-identical results.
+func runScaleAggregate(ctx *scenario.Ctx) ScaleKernelResult {
+	const nodes = 256
+	base := netsim.DefaultConfig()
+	agg := base
+	agg.Aggregate = true
+	return ScaleKernelResult{
+		Nodes: nodes,
+		Arms: []ScaleArm{
+			runScaleArm(ctx, nodes, scaleFlowsPerPair, base, "per-flow"),
+			runScaleArm(ctx, nodes, scaleFlowsPerPair, agg, "aggregated"),
+		},
+		WantRatio:      10,
+		WantComponents: scaleComponents(nodes),
+	}
+}
+
+// runScaleParallel races serial component settle against the 8-worker
+// parallel settle on the same world: byte-identical by construction, with
+// one component per gang available to fill concurrently.
+func runScaleParallel(ctx *scenario.Ctx) ScaleKernelResult {
+	const nodes = 256
+	agg := netsim.DefaultConfig()
+	agg.Aggregate = true
+	par := agg
+	par.SettleWorkers = 8
+	return ScaleKernelResult{
+		Nodes: nodes,
+		Arms: []ScaleArm{
+			runScaleArm(ctx, nodes, scaleFlowsPerPair, agg, "agg-serial"),
+			runScaleArm(ctx, nodes, scaleFlowsPerPair, par, "agg-parallel-8"),
+		},
+		WantComponents: scaleComponents(nodes),
+	}
+}
+
+// ScaleSweepResult tracks the work ratio as the aggregation factor grows.
+// The gang world is embarrassingly parallel, so world size alone scales
+// both kernels linearly; what the class kernel actually wins on is the
+// number of flows per identical chain — QPs times in-flight chunks, the
+// axis real workloads scale along. More members per class means the
+// per-flow kernel revisits ever more flows per recompute while the class
+// kernel's pass stays one visit per chain.
+type ScaleSweepResult struct {
+	Members  []int // flows per ring edge
+	Flows    []int
+	Ratio    []float64
+	Mismatch string
+}
+
+// runScaleSweep runs both kernels at three aggregation factors on the
+// 256-node world.
+func runScaleSweep(ctx *scenario.Ctx) ScaleSweepResult {
+	const nodes = 256
+	res := ScaleSweepResult{}
+	base := netsim.DefaultConfig()
+	agg := base
+	agg.Aggregate = true
+	agg.SettleWorkers = 4
+	for _, members := range []int{8, 32, 128} {
+		pf := runScaleArm(ctx, nodes, members, base, "per-flow")
+		ag := runScaleArm(ctx, nodes, members, agg, "aggregated")
+		if err := armDiverged(pf, ag); err != nil && res.Mismatch == "" {
+			res.Mismatch = fmt.Sprintf("%d members: %v", members, err)
+		}
+		res.Members = append(res.Members, members)
+		res.Flows = append(res.Flows, pf.Flows)
+		res.Ratio = append(res.Ratio, float64(pf.LinkVisits)/float64(ag.LinkVisits))
+	}
+	return res
+}
+
+// String renders the sweep.
+func (r ScaleSweepResult) String() string {
+	var sb strings.Builder
+	sb.WriteString("netsim kernel work ratio vs flows per chain (256-node world)\n")
+	rows := make([][]string, len(r.Members))
+	for i := range r.Members {
+		rows[i] = []string{
+			fmt.Sprintf("%d flows/chain", r.Members[i]),
+			fmt.Sprintf("%d", r.Flows[i]),
+			fmt.Sprintf("%.1fx", r.Ratio[i]),
+		}
+	}
+	sb.WriteString(metrics.Table([]string{"aggregation", "flows", "work ratio"}, rows))
+	if r.Mismatch != "" {
+		fmt.Fprintf(&sb, "KERNEL DIVERGENCE: %s\n", r.Mismatch)
+	}
+	return sb.String()
+}
+
+// CheckShape: no divergence at any point, the advantage strictly grows
+// with the aggregation factor, and the promised 10x holds from 32 flows
+// per chain up.
+func (r ScaleSweepResult) CheckShape() error {
+	if r.Mismatch != "" {
+		return fmt.Errorf("scale sweep: %s", r.Mismatch)
+	}
+	for i := 1; i < len(r.Ratio); i++ {
+		if r.Ratio[i] <= r.Ratio[i-1] {
+			return fmt.Errorf("scale sweep: ratio %.1fx at %d flows/chain not above %.1fx at %d",
+				r.Ratio[i], r.Members[i], r.Ratio[i-1], r.Members[i-1])
+		}
+	}
+	for i, members := range r.Members {
+		if members >= 32 && r.Ratio[i] < 10 {
+			return fmt.Errorf("scale sweep: ratio %.1fx at %d flows/chain, want >= 10x", r.Ratio[i], members)
+		}
+	}
+	return nil
+}
+
+// Metrics feeds the bench-regression baseline.
+func (r ScaleSweepResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for i, members := range r.Members {
+		m[fmt.Sprintf("ratio_m%d", members)] = r.Ratio[i]
+	}
+	return m
+}
+
+// registerScale is invoked from the main registration init (register.go)
+// so the netsim family lists after the planner.
+func registerScale() {
+	reg := scenario.Register
+
+	reg(scenario.Scenario{
+		Name: "netsim/scale-aggregate", Group: "netsim",
+		Description: "flow-class kernel vs per-flow reference on a 256-node gang world",
+		Paper:       "kernel cost per recompute drops from O(flows x links) to O(classes + touched links), bit-identically",
+		Params:      map[string]string{"nodes": "256", "flows_per_pair": "32", "shape": "gang rings"},
+		Run:         func(c *scenario.Ctx) scenario.Result { return runScaleAggregate(c) },
+		Summarize: func(r scenario.Result) string {
+			res := r.(ScaleKernelResult)
+			return fmt.Sprintf("%.1fx less kernel work on %d flows, bit-identical makespan %.3fs",
+				res.WorkRatio(), res.Arms[0].Flows, res.Arms[0].Makespan.Seconds())
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			return r.(ScaleKernelResult).Metrics()
+		},
+	})
+	reg(scenario.Scenario{
+		Name: "netsim/scale-parallel", Group: "netsim",
+		Description: "serial vs 8-worker parallel component settle on a 256-node gang world",
+		Paper:       "max-min filling decomposes along link components; the parallel settle is byte-identical to serial",
+		Params:      map[string]string{"nodes": "256", "workers": "8"},
+		Run:         func(c *scenario.Ctx) scenario.Result { return runScaleParallel(c) },
+		Summarize: func(r scenario.Result) string {
+			res := r.(ScaleKernelResult)
+			last := res.Arms[len(res.Arms)-1]
+			return fmt.Sprintf("%d components fill on 8 workers, byte-identical to serial", last.Components)
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			res := r.(ScaleKernelResult)
+			last := res.Arms[len(res.Arms)-1]
+			return map[string]float64{
+				"components": float64(last.Components),
+				"classes":    float64(last.Classes),
+				"makespan_s": res.Arms[0].Makespan.Seconds(),
+			}
+		},
+	})
+	reg(scenario.Scenario{
+		Name: "netsim/scale-sweep", Group: "netsim", Slow: true,
+		Description: "kernel work ratio as flows per chain grow from 8 to 128 on 256 nodes",
+		Paper:       "per-flow recompute cost grows with QPs x in-flight chunks; per-class cost does not",
+		Params:      map[string]string{"nodes": "256", "flows_per_pair": "8,32,128"},
+		Run:         func(c *scenario.Ctx) scenario.Result { return runScaleSweep(c) },
+		Summarize: func(r scenario.Result) string {
+			res := r.(ScaleSweepResult)
+			last := len(res.Members) - 1
+			return fmt.Sprintf("ratio %.1fx at %d flows/chain up to %.1fx at %d",
+				res.Ratio[0], res.Members[0], res.Ratio[last], res.Members[last])
+		},
+		Metrics: func(r scenario.Result) map[string]float64 {
+			return r.(ScaleSweepResult).Metrics()
+		},
+	})
+}

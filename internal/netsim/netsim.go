@@ -9,12 +9,25 @@
 // changes, rates are recomputed once (batched per virtual instant) and each
 // flow's completion event is rescheduled analytically. Per-link carried-bit
 // counters feed the switch-port bandwidth figures, and a congestion-
-// notification (CNP) process on saturated links feeds Fig 11.
+// notification (CNP) process on saturated links feeds Fig 11. Read paths
+// (Utilization, CarriedBits, CNPCount) flush any pending same-instant
+// recompute first, so observers inside event callbacks never see stale
+// rates.
+//
+// Two interchangeable kernels implement the recompute. The per-flow kernel
+// is the reference: progressive filling over every flow and the dense link
+// space. The flow-class kernel (Config.Aggregate) collapses flows with
+// identical link chains into one fluid class with a member count and
+// partitions the touched links into independent components that can settle
+// on a worker pool (Config.SettleWorkers). Both knobs are pure performance:
+// every kernel configuration must reproduce the reference bit for bit —
+// same rates, same completion instants, same event counts — a rule the
+// package's equivalence tests, the accl collective tests, and the harness
+// family replays enforce, and the committed bench baseline pins.
 package netsim
 
 import (
 	"fmt"
-	"math"
 
 	"c4/internal/sim"
 	"c4/internal/topo"
@@ -37,6 +50,21 @@ type Config struct {
 	// bonded port sums its two plane flows, so 7.5e3 reproduces the ~15k
 	// CNP/s per bonded port of the paper's Fig 11.
 	CNPPerSecond float64
+
+	// Aggregate selects the flow-class kernel: concurrent flows sharing an
+	// identical link chain are allocated as one fluid class with a member
+	// count, so recompute cost scales with the number of distinct paths
+	// instead of the number of flows (see class.go). Off by default; the
+	// per-flow kernel remains the reference implementation and the
+	// allocations are identical either way, so this is purely a
+	// performance knob for large worlds.
+	Aggregate bool
+	// SettleWorkers bounds the goroutines used to run progressive filling
+	// over independent link components concurrently (see parallel.go).
+	// Values <= 1 mean serial. Only the aggregated kernel consults it;
+	// results are byte-identical to a serial run because components share
+	// no links, classes, or scratch entries.
+	SettleWorkers int
 }
 
 // DefaultConfig returns the calibration used throughout the repository.
@@ -68,7 +96,8 @@ type Flow struct {
 	started   sim.Time
 	admitted  bool
 	done      bool
-	frozen    bool // scratch flag used during max-min filling
+	frozen    bool       // scratch flag used during max-min filling
+	class     *flowClass // aggregation class; nil under the per-flow kernel
 	admitEv   *sim.Event
 }
 
@@ -102,6 +131,14 @@ type Network struct {
 	flows   []*Flow // active flows, insertion order (stable IDs)
 	nextID  int
 	pending *sim.Event // scheduled recompute, nil if none
+	dirty   bool       // flow set or link state changed since last recompute
+
+	// Flow-class aggregation state (aggregated kernel only, see class.go):
+	// classes in creation order for deterministic kernel iteration, plus a
+	// key index for O(1) membership on admit/reroute.
+	classes    []*flowClass
+	classIndex map[string]*flowClass
+	classKey   []byte // scratch for key building
 
 	// completeEv is the single next-completion event. Flows complete when
 	// their remaining bits reach zero at the scheduled instant; keeping one
@@ -127,20 +164,45 @@ type Network struct {
 	// Scratch state reused across recompute calls. Link IDs are dense
 	// (indices into Topo.Links), so slice-indexed accumulators replace the
 	// per-call maps that otherwise dominate the simulator's CPU profile.
-	scCap     []float64 // remaining capacity during progressive filling
-	scCount   []int     // unfrozen flows on the link
-	scFlows   [][]*Flow // flows crossing the link
-	scSeen    []bool    // link appears in scTouched
-	scLoad    []float64 // aggregate allocated rate (CNP pass)
-	scLoadCnt []int     // allocated flows on the link (CNP pass)
-	scFactor  []float64 // CNP contention factor; 0 = not saturated
-	scTouched []int     // link IDs referenced by the current flow set
+	scCap     []float64      // remaining capacity during progressive filling
+	scCount   []int          // unfrozen flows on the link
+	scFlows   [][]*Flow      // flows crossing the link (per-flow kernel)
+	scClasses [][]*flowClass // classes crossing the link (aggregated kernel)
+	scSeen    []bool         // link appears in scTouched
+	scLoad    []float64      // aggregate allocated rate (CNP pass)
+	scLoadCnt []int          // allocated flows on the link (CNP pass)
+	scFactor  []float64      // CNP contention factor; 0 = not saturated
+	scTouched []int          // link IDs referenced by the current flow set
+
+	// Incremental read-path counters: flowsOn tracks active-flow membership
+	// per link (maintained at admit/remove/reroute), and utilRate snapshots
+	// the aggregate allocated rate per link at the end of each recompute
+	// (utilLinks lists the links holding a nonzero snapshot so the next
+	// recompute can clear them). Together they make FlowsOn and Utilization
+	// O(1) instead of scans over every active flow.
+	flowsOn   []int
+	utilRate  []float64
+	utilLinks []int
+
+	// Union-find and component scratch for the parallel settle partition
+	// (see parallel.go).
+	ufParent  []int32
+	compSlot  []int32
+	sortedIDs []int
+	compPool  []*component
+	lastComps int
+
+	stats KernelStats
 }
 
 // New creates a simulator bound to an engine and fabric.
 func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Network {
+	if v := forcedKernel.Load(); v != 0 {
+		cfg.Aggregate = true
+		cfg.SettleWorkers = int(v >> 8)
+	}
 	nl := len(t.Links)
-	return &Network{
+	n := &Network{
 		Engine:      eng,
 		Topo:        t,
 		Cfg:         cfg,
@@ -154,7 +216,16 @@ func New(eng *sim.Engine, t *topo.Topology, cfg Config) *Network {
 		scLoad:      make([]float64, nl),
 		scLoadCnt:   make([]int, nl),
 		scFactor:    make([]float64, nl),
+		flowsOn:     make([]int, nl),
+		utilRate:    make([]float64, nl),
 	}
+	if n.Cfg.Aggregate {
+		n.classIndex = make(map[string]*flowClass)
+		n.scClasses = make([][]*flowClass, nl)
+		n.ufParent = make([]int32, nl)
+		n.compSlot = make([]int32, nl)
+	}
+	return n
 }
 
 // StartFlow submits a transfer of sizeBits along path. onComplete may be
@@ -176,6 +247,10 @@ func (n *Network) StartFlow(path *topo.Path, sizeBits float64, label string, onC
 	f.admitEv = n.Engine.After(n.Cfg.BaseLatency, func() {
 		f.admitted = true
 		n.flows = append(n.flows, f)
+		for _, l := range f.Path.Links {
+			n.flowsOn[l.ID]++
+		}
+		n.classAdmit(f)
 		n.invalidate()
 		// A flow submitted onto an already-failed path would otherwise be
 		// admitted silently at rate zero: SetLinkUp only notifies flows that
@@ -213,12 +288,26 @@ func (n *Network) Cancel(f *Flow) {
 }
 
 // Reroute moves a live flow onto a new path; remaining bits carry over.
+// Under the aggregated kernel the flow leaves its current class and joins
+// (or creates) the class of the new link chain.
 func (n *Network) Reroute(f *Flow, path *topo.Path) {
 	if f.done {
 		return
 	}
 	n.settle()
+	if f.admitted {
+		for _, l := range f.Path.Links {
+			n.flowsOn[l.ID]--
+		}
+		n.classRemove(f)
+	}
 	f.Path = path
+	if f.admitted {
+		for _, l := range f.Path.Links {
+			n.flowsOn[l.ID]++
+		}
+		n.classAdmit(f)
+	}
 	n.invalidate()
 }
 
@@ -285,50 +374,55 @@ func (n *Network) ActiveFlows() int { return len(n.flows) }
 
 // CarriedBits reports cumulative bits delivered over a link.
 func (n *Network) CarriedBits(l *topo.Link) float64 {
-	n.settle()
+	n.flush()
 	return n.carriedBits[l.ID]
 }
 
 // CNPCount reports cumulative congestion notifications received by the
 // sender behind the given physical port.
 func (n *Network) CNPCount(p *topo.Port) float64 {
-	n.settle()
+	n.flush()
 	return n.cnpCount[p.Up.ID]
 }
 
-// FlowsOn reports how many active flows traverse the link.
+// FlowsOn reports how many active flows traverse the link. Membership is
+// maintained incrementally at admit/remove/reroute, so this is O(1).
 func (n *Network) FlowsOn(l *topo.Link) int {
-	c := 0
-	for _, f := range n.flows {
-		for _, pl := range f.Path.Links {
-			if pl == l {
-				c++
-				break
-			}
-		}
-	}
-	return c
+	return n.flowsOn[l.ID]
 }
 
-// Utilization reports the current aggregate rate on a link in bits/second.
+// Utilization reports the current aggregate rate on a link in bits/second,
+// from the per-link snapshot taken at the end of the last recompute (O(1),
+// no flow scan). flush first runs any recompute pending at this instant,
+// so a reader in the same callback as a SetLink*/StartFlow mutation sees
+// post-mutation rates.
 func (n *Network) Utilization(l *topo.Link) float64 {
-	n.settle() // keep carried-bit counters consistent with the rates
-	var u float64
-	for _, f := range n.flows {
-		for _, pl := range f.Path.Links {
-			if pl == l {
-				u += f.rate
-				break
-			}
-		}
-	}
-	return u
+	n.flush()
+	return n.utilRate[l.ID]
 }
+
+// Stats reports cumulative deterministic work counters for the rate
+// kernel. They count algorithmic steps, not wall-clock, so they are
+// byte-for-byte reproducible and safe to track in bench baselines.
+func (n *Network) Stats() KernelStats { return n.stats }
+
+// ClassCount reports the number of live flow classes (0 under the
+// per-flow kernel).
+func (n *Network) ClassCount() int { return len(n.classes) }
+
+// ComponentCount reports how many independent link components the last
+// aggregated recompute partitioned the traffic into (0 under the per-flow
+// kernel) — the available parallelism for SettleWorkers.
+func (n *Network) ComponentCount() int { return n.lastComps }
 
 func (n *Network) remove(f *Flow) {
 	for i, g := range n.flows {
 		if g == f {
 			n.flows = append(n.flows[:i], n.flows[i+1:]...)
+			for _, l := range f.Path.Links {
+				n.flowsOn[l.ID]--
+			}
+			n.classRemove(f)
 			return
 		}
 	}
@@ -336,10 +430,27 @@ func (n *Network) remove(f *Flow) {
 
 // invalidate schedules a single rate recomputation at the current instant.
 func (n *Network) invalidate() {
+	n.dirty = true
 	if n.pending != nil && !n.pending.Cancelled() && n.pending.At() == n.Engine.Now() {
 		return
 	}
 	n.pending = n.Engine.After(0, n.recompute)
+}
+
+// flush brings every observable up to the current instant. Mutators
+// (StartFlow admission, SetLink*, Cancel, Reroute) batch their rate
+// recomputation into a single After(0) event, so between a mutation and
+// that event firing the flow rates are stale; a reader in that window —
+// same virtual instant, later callback — must not see pre-mutation rates.
+// flush runs the pending recomputation early (the event itself then fires
+// as a no-op, keeping the engine's event accounting unchanged) and settles
+// the carried-bit/CNP counters.
+func (n *Network) flush() {
+	if n.dirty && n.pending != nil && !n.pending.Cancelled() && n.pending.At() == n.Engine.Now() {
+		n.recomputeNow()
+		return
+	}
+	n.settle()
 }
 
 // settle advances all flows to the current instant at their current rates,
@@ -369,165 +480,31 @@ func (n *Network) settle() {
 	}
 }
 
-// recompute performs max-min fair allocation (progressive filling) across
-// all admitted flows and reschedules completion events. All bookkeeping
-// lives in slice-indexed scratch buffers reused across calls: this routine
-// runs once per flow-set change and dominates the simulator's CPU profile,
-// so it must not hash or allocate per link.
+// recompute is the deferred After(0) rate-recomputation event. The dirty
+// check lets a read-path flush run the work early in the same instant: the
+// event then fires as a no-op, so engine event accounting is independent
+// of whether (and when) anyone read an observable.
 func (n *Network) recompute() {
-	n.settle()
 	n.pending = nil
+	if !n.dirty {
+		return
+	}
+	n.recomputeNow()
+}
 
-	n.scTouched = n.scTouched[:0]
-	unfrozen := 0
-	for _, f := range n.flows {
-		f.rate = 0
-		alive := true
-		for _, l := range f.Path.Links {
-			if !l.Up() {
-				alive = false
-				break
-			}
-		}
-		if !alive {
-			f.frozen = true // stalled at rate 0
-			continue
-		}
-		f.frozen = false
-		unfrozen++
-		for _, l := range f.Path.Links {
-			if !n.scSeen[l.ID] {
-				n.scSeen[l.ID] = true
-				n.scCap[l.ID] = l.Gbps * Gbps
-				n.scCount[l.ID] = 0
-				n.scFlows[l.ID] = n.scFlows[l.ID][:0]
-				n.scTouched = append(n.scTouched, l.ID)
-			}
-			n.scCount[l.ID]++
-			n.scFlows[l.ID] = append(n.scFlows[l.ID], f)
-		}
-	}
-
-	// Bottleneck scanning must visit links in a deterministic order; link
-	// IDs are dense indices, so walking the whole ID space ascending and
-	// skipping untouched entries is both ordered and cheaper than sorting
-	// the touched list on every recompute.
-	nl := len(n.scSeen)
-	for unfrozen > 0 {
-		// Find the tightest link.
-		best := math.Inf(1)
-		for id := 0; id < nl; id++ {
-			if !n.scSeen[id] || n.scCount[id] <= 0 {
-				continue
-			}
-			share := n.scCap[id] / float64(n.scCount[id])
-			if share < best {
-				best = share
-			}
-		}
-		if math.IsInf(best, 1) {
-			break // remaining flows cross no capacity-bearing links
-		}
-		// Freeze every unfrozen flow on links at the bottleneck share.
-		progressed := false
-		for id := 0; id < nl; id++ {
-			if !n.scSeen[id] || n.scCount[id] <= 0 {
-				continue
-			}
-			share := n.scCap[id] / float64(n.scCount[id])
-			if share > best*(1+rateEpsilon) {
-				continue
-			}
-			for _, f := range n.scFlows[id] {
-				if f.frozen {
-					continue
-				}
-				f.rate = best
-				f.frozen = true
-				unfrozen--
-				progressed = true
-				for _, l := range f.Path.Links {
-					n.scCap[l.ID] -= best
-					if n.scCap[l.ID] < 0 {
-						n.scCap[l.ID] = 0
-					}
-					n.scCount[l.ID]--
-				}
-			}
-		}
-		if !progressed {
-			break
-		}
-	}
-
-	// CNP rates: saturated links with contention emit notifications toward
-	// every sender crossing them. A single flow at line rate builds no
-	// queue in the fluid model, so saturation requires ≥2 competing flows.
-	for _, id := range n.scTouched {
-		n.scLoad[id] = 0
-		n.scLoadCnt[id] = 0
-	}
-	for _, f := range n.flows {
-		if f.rate <= 0 {
-			continue
-		}
-		for _, l := range f.Path.Links {
-			n.scLoad[l.ID] += f.rate
-			n.scLoadCnt[l.ID]++
-		}
-	}
-	for _, id := range n.scTouched {
-		n.scFactor[id] = 0
-		capBits := n.linkCap(id)
-		if n.scLoadCnt[id] >= 2 && capBits > 0 && n.scLoad[id] >= capBits*(1-1e-6) {
-			n.scFactor[id] = float64(n.scLoadCnt[id]-1) / float64(n.scLoadCnt[id])
-		}
-	}
-	for _, f := range n.flows {
-		f.cnpRate = 0
-		loss := 1.0
-		for _, l := range f.Path.Links {
-			if factor := n.scFactor[l.ID]; factor > 0 {
-				f.cnpRate += n.Cfg.CNPPerSecond * factor
-			}
-			if fr := n.lossFrac[l.ID]; fr > 0 {
-				loss *= 1 - fr
-			}
-		}
-		f.goodRate = f.rate * loss
-	}
-	// Restore the between-calls invariant: scSeen and scFactor all zero, so
-	// links untouched by the next flow set read as absent, not stale.
-	for _, id := range n.scTouched {
-		n.scSeen[id] = false
-		n.scFactor[id] = 0
-	}
-
-	// Reschedule the next completion: the earliest ETA across all moving
-	// flows. Round up by 1 ns: FromSeconds truncates, and an ETA that
-	// lands a sub-nanosecond early would re-fire at the same instant with
-	// zero progress. Overshoot is harmless — settle clamps delivery to the
-	// remaining bits, so at the scheduled instant the finishing flows sit
-	// at exactly zero remaining.
-	minEta := sim.MaxTime
-	for _, f := range n.flows {
-		if f.goodRate <= 0 {
-			continue
-		}
-		eta := sim.FromSeconds(f.remaining/f.goodRate) + 1
-		if eta < 1 {
-			eta = 1
-		}
-		if eta < minEta {
-			minEta = eta
-		}
-	}
-	if n.completeEv != nil {
-		n.completeEv.Cancel()
-		n.completeEv = nil
-	}
-	if minEta < sim.MaxTime {
-		n.completeEv = n.Engine.After(minEta, n.completions)
+// recomputeNow performs max-min fair allocation (progressive filling)
+// across all admitted flows and reschedules the completion event, through
+// one of two kernels producing identical allocations: the reference
+// per-flow kernel (kernel.go) or the flow-class kernel (class.go,
+// parallel.go) selected by Config.Aggregate.
+func (n *Network) recomputeNow() {
+	n.settle()
+	n.dirty = false
+	n.stats.Recomputes++
+	if n.Cfg.Aggregate {
+		n.recomputeAggregated()
+	} else {
+		n.recomputePerFlow()
 	}
 }
 

@@ -53,6 +53,7 @@ type Event struct {
 	at     Time
 	seq    uint64
 	fn     func()
+	eng    *Engine
 	index  int // heap index; -1 when not queued
 	cancel bool
 }
@@ -62,7 +63,16 @@ func (e *Event) At() Time { return e.at }
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
 // already fired (or was already cancelled) is a no-op.
-func (e *Event) Cancel() { e.cancel = true }
+func (e *Event) Cancel() {
+	if e.cancel {
+		return
+	}
+	e.cancel = true
+	if e.index >= 0 && e.eng != nil {
+		e.eng.dead++
+		e.eng.maybeCompact()
+	}
+}
 
 // Cancelled reports whether Cancel was called on the event.
 func (e *Event) Cancelled() bool { return e.cancel }
@@ -105,6 +115,7 @@ type Engine struct {
 	seq     uint64
 	stopped bool
 	fired   uint64
+	dead    int // cancelled events still sitting in the queue
 	ids     map[string]int
 }
 
@@ -133,9 +144,61 @@ func (e *Engine) NextID(seq string) int {
 // for detecting runaway simulations.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports the number of events currently queued (including events
-// that were cancelled but not yet discarded).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of live (non-cancelled) events currently
+// queued. Cancelled events may physically linger until lazily discarded or
+// compacted, but they never count here and never fire.
+func (e *Engine) Pending() int { return len(e.queue) - e.dead }
+
+// maybeCompact physically removes cancelled events once they make up the
+// majority of a non-trivial queue. Long-running models that cancel and
+// re-arm timers constantly (flow reroutes, hang-alarm pushback) would
+// otherwise grow the heap without bound between pops. Compaction preserves
+// every live event's (at, seq) key, so the fire order — and therefore every
+// downstream measurement — is unchanged.
+func (e *Engine) maybeCompact() {
+	if e.dead < 64 || e.dead*2 <= len(e.queue) {
+		return
+	}
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.cancel {
+			ev.index = -1
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	for i, ev := range e.queue {
+		ev.index = i
+	}
+	heap.Init(&e.queue)
+	e.dead = 0
+}
+
+// Reschedule moves a still-queued event to a new instant in place
+// (container/heap Fix) instead of cancelling it and allocating a
+// replacement. The event is assigned a fresh scheduling sequence number, so
+// among same-instant events it fires exactly where a newly created event
+// would — rescheduling is behaviorally indistinguishable from
+// cancel-plus-Schedule, minus the garbage and heap churn. It reports false
+// when the event is nil, already fired, or cancelled; callers then fall
+// back to scheduling a new event.
+func (e *Engine) Reschedule(ev *Event, at Time) bool {
+	if ev == nil || ev.cancel || ev.index < 0 {
+		return false
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: reschedule at %v before now %v", at, e.now))
+	}
+	ev.at = at
+	e.seq++
+	ev.seq = e.seq
+	heap.Fix(&e.queue, ev.index)
+	return true
+}
 
 // Schedule queues fn to run at the absolute instant at. Scheduling in the
 // past panics: it always indicates a model bug, and silently reordering
@@ -145,7 +208,7 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
 	}
 	e.seq++
-	ev := &Event{at: at, seq: e.seq, fn: fn, index: -1}
+	ev := &Event{at: at, seq: e.seq, fn: fn, eng: e, index: -1}
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -166,6 +229,7 @@ func (e *Engine) step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.cancel {
+			e.dead--
 			continue
 		}
 		if ev.at < e.now {
@@ -212,6 +276,7 @@ func (e *Engine) peek() *Event {
 	// Cancelled events may sit at the head; skip them without firing.
 	for len(e.queue) > 0 && e.queue[0].cancel {
 		heap.Pop(&e.queue)
+		e.dead--
 	}
 	if len(e.queue) == 0 {
 		return &Event{at: MaxTime}

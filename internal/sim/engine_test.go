@@ -189,10 +189,10 @@ func TestFiredAndPendingAccounting(t *testing.T) {
 		t.Fatalf("pending = %d, want 4", e.Pending())
 	}
 	evs[1].Cancel()
-	// A cancelled event stays queued (lazily discarded), so Pending still
-	// counts it until the run loop or a peek pops it.
-	if e.Pending() != 4 {
-		t.Fatalf("pending after cancel = %d, want 4 (lazy discard)", e.Pending())
+	// A cancelled event may stay physically queued (lazily discarded), but
+	// Pending counts only live events.
+	if e.Pending() != 3 {
+		t.Fatalf("pending after cancel = %d, want 3 (cancelled events are not pending)", e.Pending())
 	}
 	e.Run()
 	if e.Fired() != 3 {
@@ -203,6 +203,131 @@ func TestFiredAndPendingAccounting(t *testing.T) {
 	}
 	if !evs[1].Cancelled() {
 		t.Fatal("cancelled flag lost")
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	ev := e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	if !e.Reschedule(ev, 30) {
+		t.Fatal("Reschedule of a queued event must succeed")
+	}
+	if ev.At() != 30 {
+		t.Fatalf("At = %v, want 30", ev.At())
+	}
+	e.Run()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("order = %v, want [2 1]", got)
+	}
+	if e.Fired() != 2 {
+		t.Fatalf("fired = %d, want 2 (rescheduling must not double-fire)", e.Fired())
+	}
+}
+
+// Reschedule must be ordering-equivalent to cancel-plus-Schedule: among
+// same-instant events the rescheduled one gets a fresh sequence number and
+// fires last, exactly like a newly created event would.
+func TestRescheduleFreshSeqOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	ev := e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.Reschedule(ev, 10)
+	e.Run()
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("order = %v, want [2 1] (rescheduled event must fire like a fresh one)", got)
+	}
+}
+
+func TestRescheduleDeadEvents(t *testing.T) {
+	e := NewEngine()
+	fired := e.Schedule(5, func() {})
+	cancelled := e.Schedule(6, func() {})
+	cancelled.Cancel()
+	e.Run()
+	if e.Reschedule(fired, 10) {
+		t.Fatal("Reschedule of a fired event must fail")
+	}
+	if e.Reschedule(cancelled, 10) {
+		t.Fatal("Reschedule of a cancelled event must fail")
+	}
+	if e.Reschedule(nil, 10) {
+		t.Fatal("Reschedule of nil must fail")
+	}
+}
+
+func TestReschedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	ev := e.Schedule(20, func() {})
+	e.RunUntil(15)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic rescheduling before now")
+		}
+	}()
+	e.Reschedule(ev, 5)
+}
+
+// A cancel-heavy run must not accumulate dead events: once cancelled events
+// dominate the queue they are compacted away, keeping both Pending and the
+// physical heap bounded by the live set.
+func TestCancelledEventsCompacted(t *testing.T) {
+	e := NewEngine()
+	evs := make([]*Event, 2000)
+	for i := range evs {
+		evs[i] = e.Schedule(Time(i+1), func() {})
+	}
+	for i, ev := range evs {
+		if i%20 != 0 { // cancel 95%, keep 100 live
+			ev.Cancel()
+		}
+	}
+	if e.Pending() != 100 {
+		t.Fatalf("pending = %d, want 100", e.Pending())
+	}
+	if len(e.queue) >= 2000 {
+		t.Fatalf("queue len = %d, want compacted below the scheduled total", len(e.queue))
+	}
+	if len(e.queue) > 2*100+64 {
+		t.Fatalf("queue len = %d, dead events dominate after compaction", len(e.queue))
+	}
+	e.Run()
+	if e.Fired() != 100 {
+		t.Fatalf("fired = %d, want 100", e.Fired())
+	}
+	if e.Pending() != 0 || e.dead != 0 {
+		t.Fatalf("pending=%d dead=%d after run, want 0/0", e.Pending(), e.dead)
+	}
+}
+
+// Compaction must not disturb the deterministic fire order of the
+// surviving events.
+func TestCompactionPreservesOrder(t *testing.T) {
+	e := NewEngine()
+	var want, got []Time
+	evs := make([]*Event, 1000)
+	for i := range evs {
+		at := Time((i*37)%997 + 1) // scrambled but deterministic
+		evs[i] = e.Schedule(at, func() { got = append(got, e.Now()) })
+	}
+	for i, ev := range evs {
+		if i%4 == 0 {
+			ev.Cancel()
+		} else {
+			want = append(want, ev.At())
+		}
+	}
+	e.Run()
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("fire order went backwards at %d: %v < %v", i, got[i], got[i-1])
+		}
 	}
 }
 

@@ -425,14 +425,17 @@ func (d *OnlineDetector) rearmHangAlarm(w *commWatch) {
 	if w.alarm != nil && !w.alarm.Cancelled() && w.alarmAt == deadline {
 		return
 	}
-	if w.alarm != nil {
-		w.alarm.Cancel()
-	}
 	at := deadline
 	if now := d.eng.Now(); at < now {
 		at = now
 	}
 	w.alarmAt = deadline
+	// Move the queued alarm in place; falls back to a fresh event when the
+	// old one already fired or was cancelled. Reschedule assigns a fresh
+	// sequence number, so the firing order matches cancel-and-recreate.
+	if d.eng.Reschedule(w.alarm, at) {
+		return
+	}
 	w.alarm = d.eng.Schedule(at, func() { d.hangAlarm(w) })
 }
 
