@@ -9,8 +9,8 @@ GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
 .PHONY: all build vet fmt-check test test-race kernel-race tenancy-smoke \
-	telemetry-smoke plan-smoke ci bench experiments bench-json \
-	bench-baseline bench-check cover clean
+	telemetry-smoke plan-smoke serve-smoke docker ci bench experiments \
+	bench-json bench-baseline bench-check cover clean
 
 all: ci
 
@@ -61,7 +61,18 @@ telemetry-smoke:
 plan-smoke:
 	$(GO) run ./cmd/c4bench -only plan/overlap-ablation
 
-ci: fmt-check vet build test test-race kernel-race tenancy-smoke telemetry-smoke plan-smoke
+# The serving-plane e2e: boot the c4serve daemon on an in-process
+# loopback listener, drive one session over real HTTP + SSE, and diff the
+# streamed telemetry byte-for-byte against the one-shot -telemetry-out
+# path (plus exact metric equality). Hermetic: no curl, no fixed port.
+serve-smoke:
+	$(GO) run ./cmd/c4serve -smoke
+
+# Container image for the daemon (requires docker; CI runs it on push).
+docker:
+	docker build -t c4serve:$(SHA) .
+
+ci: fmt-check vet build test test-race kernel-race tenancy-smoke telemetry-smoke plan-smoke serve-smoke
 
 # Microbenchmarks, including the incremental-vs-full-recompute pair
 # (internal/telemetry: BenchmarkIncrementalObserve vs

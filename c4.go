@@ -24,7 +24,7 @@
 // package re-exports the main entry points so downstream users can build
 // their own scenarios without spelunking the internal tree:
 //
-//	env := c4.NewEnv(c4.PaperTestbed())
+//	env, _ := c4.OpenEnv(c4.EnvOptions{Spec: c4.PaperTestbed()})
 //	prov := env.NewProvider(c4.C4PStatic, 1)
 //	comm, _ := c4.NewCommunicator(c4.CommConfig{
 //	    Engine: env.Eng, Net: env.Net, Provider: prov,
@@ -36,6 +36,9 @@
 package c4
 
 import (
+	"context"
+	"fmt"
+
 	"c4/internal/accl"
 	"c4/internal/c4d"
 	"c4/internal/c4p"
@@ -108,7 +111,35 @@ func MultiJobTestbed(spines int) ClusterSpec { return topo.MultiJobTestbed(spine
 // NewTopology builds a fabric.
 func NewTopology(spec ClusterSpec) (*Topology, error) { return topo.New(spec) }
 
+// NetworkOptions configures OpenNetwork. The options-struct constructors
+// (OpenNetwork, OpenC4PMaster, OpenEnv, NewSession) are the package's
+// construction API: call sites stay readable as knobs accrue, and new
+// options never break existing callers.
+type NetworkOptions struct {
+	// Engine is the simulation clock (required).
+	Engine *Engine
+	// Topology is the fabric to simulate (required).
+	Topology *Topology
+	// Config tunes the simulator; nil means DefaultNetConfig().
+	Config *NetConfig
+}
+
+// OpenNetwork creates the fluid network simulator.
+func OpenNetwork(opts NetworkOptions) (*Network, error) {
+	if opts.Engine == nil || opts.Topology == nil {
+		return nil, errNeed("OpenNetwork", "Engine and Topology")
+	}
+	cfg := netsim.DefaultConfig()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	return netsim.New(opts.Engine, opts.Topology, cfg), nil
+}
+
 // NewNetwork creates the fluid network simulator.
+//
+// Deprecated: use OpenNetwork, which defaults the calibration and reads
+// clearly at call sites.
 func NewNetwork(eng *Engine, t *Topology, cfg NetConfig) *Network {
 	return netsim.New(eng, t, cfg)
 }
@@ -158,7 +189,34 @@ const (
 	C4PDynamicMode = c4p.Dynamic
 )
 
+// C4PMasterOptions configures OpenC4PMaster.
+type C4PMasterOptions struct {
+	// Topology is the fabric the master plans paths on (required).
+	Topology *Topology
+	// Mode is the failure-response policy; the zero value is
+	// C4PStaticMode.
+	Mode C4PMode
+	// Rand seeds the master's tie-breaking; nil means NewRand(Seed).
+	Rand *Rand
+	// Seed is used only when Rand is nil.
+	Seed int64
+}
+
+// OpenC4PMaster creates a C4P traffic-engineering master for the fabric.
+func OpenC4PMaster(opts C4PMasterOptions) (*C4PMaster, error) {
+	if opts.Topology == nil {
+		return nil, errNeed("OpenC4PMaster", "Topology")
+	}
+	r := opts.Rand
+	if r == nil {
+		r = sim.NewRand(opts.Seed)
+	}
+	return c4p.NewMaster(opts.Topology, opts.Mode, r), nil
+}
+
 // NewC4PMaster creates a C4P master for the fabric.
+//
+// Deprecated: use OpenC4PMaster.
 func NewC4PMaster(t *Topology, mode C4PMode, r *Rand) *C4PMaster {
 	return c4p.NewMaster(t, mode, r)
 }
@@ -289,8 +347,43 @@ const (
 	C4PDynamic   = harness.C4PDynamic
 )
 
-// NewEnv builds an experiment environment.
+// EnvOptions configures OpenEnv.
+type EnvOptions struct {
+	// Spec describes the fabric; the zero value means PaperTestbed().
+	Spec ClusterSpec
+	// Net tunes the network simulator; nil means DefaultNetConfig().
+	Net *NetConfig
+}
+
+// OpenEnv builds an experiment environment — engine, fabric, network —
+// reporting spec errors instead of panicking.
+func OpenEnv(opts EnvOptions) (*Env, error) {
+	spec := opts.Spec
+	if spec.Nodes == 0 {
+		spec = topo.PaperTestbed()
+	}
+	t, err := topo.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	net, err := OpenNetwork(NetworkOptions{Engine: eng, Topology: t, Config: opts.Net})
+	if err != nil {
+		return nil, err
+	}
+	return &Env{Eng: eng, Topo: t, Net: net}, nil
+}
+
+// NewEnv builds an experiment environment, panicking on a bad spec.
+//
+// Deprecated: use OpenEnv, which reports spec errors and accepts a
+// network calibration.
 func NewEnv(spec ClusterSpec) *Env { return harness.NewEnv(spec) }
+
+// errNeed reports a missing required option.
+func errNeed(ctor, what string) error {
+	return fmt.Errorf("c4: %s requires %s", ctor, what)
+}
 
 // Experiment runners (see EXPERIMENTS.md for the index).
 var (
@@ -344,5 +437,8 @@ func GetScenario(name string) (Scenario, bool) { return scenario.Get(name) }
 // SelectScenarios resolves a comma-separated selection (globs allowed).
 func SelectScenarios(selection string) ([]Scenario, error) { return scenario.Select(selection) }
 
-// RunScenario executes one scenario with the given seed.
-func RunScenario(s Scenario, seed int64) ScenarioReport { return scenario.RunOne(s, seed) }
+// RunScenario executes one scenario with the given seed. ctx cancels a
+// run between scenarios (nil means context.Background()).
+func RunScenario(ctx context.Context, s Scenario, seed int64) ScenarioReport {
+	return scenario.RunOne(ctx, s, seed)
+}

@@ -4,12 +4,13 @@ package c4
 // touches must work without reaching into internal packages.
 
 import (
+	"context"
 	"testing"
 )
 
 func TestFacadeAllReduceECMPvsC4P(t *testing.T) {
 	run := func(kind ProviderKind) float64 {
-		env := NewEnv(MultiJobTestbed(8))
+		env := mustEnv(t, MultiJobTestbed(8))
 		comm, err := NewCommunicator(CommConfig{
 			Engine: env.Eng, Net: env.Net, Provider: env.NewProvider(kind, 1),
 		}, []int{0, 8, 1, 9})
@@ -31,7 +32,7 @@ func TestFacadeAllReduceECMPvsC4P(t *testing.T) {
 }
 
 func TestFacadeC4DPipeline(t *testing.T) {
-	env := NewEnv(PaperTestbed())
+	env := mustEnv(t, PaperTestbed())
 	master := NewC4DMaster(C4DConfig{})
 	fleet := NewC4DFleet(env.Eng, master)
 	var events []C4DEvent
@@ -39,7 +40,7 @@ func TestFacadeC4DPipeline(t *testing.T) {
 
 	comm, err := NewCommunicator(CommConfig{
 		Engine: env.Eng, Net: env.Net,
-		Provider: NewC4PMaster(env.Topo, C4PStaticMode, NewRand(1)),
+		Provider: mustC4PMaster(t, env.Topo),
 		Sink:     fleet,
 	}, []int{0, 2, 4, 6})
 	if err != nil {
@@ -63,7 +64,7 @@ func TestFacadeC4DPipeline(t *testing.T) {
 }
 
 func TestFacadeJobAndWorkloads(t *testing.T) {
-	env := NewEnv(MultiJobTestbed(8))
+	env := mustEnv(t, MultiJobTestbed(8))
 	spec := JobSpec{
 		Name:                 "facade-test",
 		Model:                GPT22B,
@@ -89,7 +90,7 @@ func TestFacadeJobAndWorkloads(t *testing.T) {
 }
 
 func TestFacadeOperationalSubsystems(t *testing.T) {
-	env := NewEnv(MultiJobTestbed(8))
+	env := mustEnv(t, MultiJobTestbed(8))
 
 	// Scheduler packs a leaf group.
 	sc := NewScheduler(env.Topo)
@@ -152,7 +153,7 @@ func TestFacadeScenarioRegistry(t *testing.T) {
 	if !ok {
 		t.Fatal("nccltest scenario missing")
 	}
-	rep := RunScenario(s, 1)
+	rep := RunScenario(context.Background(), s, 1)
 	if rep.Err != nil || rep.ShapeErr != nil {
 		t.Fatalf("nccltest: err=%v shape=%v", rep.Err, rep.ShapeErr)
 	}
@@ -165,7 +166,7 @@ func TestFacadeScenarioRegistry(t *testing.T) {
 			Name: "facade-custom", Group: "test", Description: "facade registration",
 			Paper: "n/a",
 			Run: func(c *ScenarioCtx) ScenarioResult {
-				return RunScenario(s, c.Seed).Result
+				return RunScenario(c.Context, s, c.Seed).Result
 			},
 		})
 	}
@@ -174,11 +175,31 @@ func TestFacadeScenarioRegistry(t *testing.T) {
 		t.Fatalf("SelectScenarios = %v, %v", sel, err)
 	}
 	runner := &ScenarioRunner{Workers: 2}
-	reps := runner.Run(1, append(sel, s))
+	reps := runner.Run(context.Background(), 1, append(sel, s))
 	if reps[0].Err != nil || reps[1].Err != nil {
 		t.Fatalf("runner through facade: %+v", reps)
 	}
 	if reps[0].Result.String() != reps[1].Result.String() {
 		t.Fatal("custom wrapper diverged from direct run")
 	}
+}
+
+// mustEnv exercises the options-struct constructor the facade now centers
+// on; every facade test environment flows through it.
+func mustEnv(t *testing.T, spec ClusterSpec) *Env {
+	t.Helper()
+	env, err := OpenEnv(EnvOptions{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func mustC4PMaster(t *testing.T, topo *Topology) *C4PMaster {
+	t.Helper()
+	m, err := OpenC4PMaster(C4PMasterOptions{Topology: topo, Mode: C4PStaticMode, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -104,7 +105,7 @@ func generateDemo(dir string, seed int64) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("analyzer-demo scenario not registered")
 	}
-	rep := scenario.RunOne(s, seed)
+	rep := scenario.RunOne(context.Background(), s, seed)
 	if rep.Err != nil {
 		return "", rep.Err
 	}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -72,7 +73,7 @@ func main() {
 		scns = tracked
 	}
 	runner := &scenario.Runner{Workers: *workers}
-	reports := runner.Run(*seed, scns)
+	reports := runner.Run(context.Background(), *seed, scns)
 
 	failures := 0
 	switch {

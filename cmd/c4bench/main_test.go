@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -18,7 +19,7 @@ func runTracked(t *testing.T, name string) ([]scenario.Scenario, []scenario.Repo
 	if err != nil {
 		t.Fatal(err)
 	}
-	return scns, (&scenario.Runner{Workers: 1}).Run(1, scns)
+	return scns, (&scenario.Runner{Workers: 1}).Run(context.Background(), 1, scns)
 }
 
 func TestWriteBenchJSON(t *testing.T) {

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"c4/internal/serve"
+)
+
+// TestSmoke runs the daemon's self-test end to end: in-process loopback
+// server, one session driven over HTTP + SSE, streamed bytes diffed
+// against the one-shot path.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving e2e in -short mode")
+	}
+	if code := runSmoke(serve.Config{}); code != 0 {
+		t.Fatalf("runSmoke = %d, want 0", code)
+	}
+}

@@ -4,6 +4,10 @@
 // isolate -> restart loop and printing the timeline. It can also run any
 // experiment from the scenario registry by name.
 //
+// Every mode compiles its flags into a c4.SessionSpec and runs it through
+// the same c4.Session lifecycle the c4serve daemon serves, so a CLI run
+// and a served session with the same spec and seed are byte-identical.
+//
 // Example:
 //
 //	c4sim -job gpt22b -fault crash -fault-at 30s
@@ -21,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,21 +33,9 @@ import (
 	"strings"
 	"time"
 
-	"c4/internal/accl"
-	"c4/internal/c4d"
-	"c4/internal/cluster"
+	"c4"
 	"c4/internal/faults"
-	"c4/internal/harness"
-	"c4/internal/job"
-	"c4/internal/plan"
-	"c4/internal/rca"
 	"c4/internal/scenario"
-	"c4/internal/sched"
-	"c4/internal/sim"
-	"c4/internal/steering"
-	"c4/internal/telemetry"
-	"c4/internal/tenancy"
-	"c4/internal/topo"
 	"c4/internal/workload"
 )
 
@@ -91,225 +84,58 @@ func main() {
 		os.Exit(runPlan(*planStr, *jobName, *provider, *planBkt, *planOvl, *planIters, *seed))
 	}
 
-	spec := topo.MultiJobTestbed(8)
-	spec.Nodes = 24 // 16 primaries + 8 spares
-	env := harness.NewEnv(spec)
-	machines := cluster.NewCluster(16, 8, 8)
+	spec := c4.SessionSpec{
+		Seed: *seed,
+		Job: &c4.SessionJob{
+			Model:     *jobName,
+			Provider:  *provider,
+			Placement: *placement,
+			Fault:     *fault,
+			FaultAtS:  faultAt.Seconds(),
+			Victim:    victim,
+			HorizonS:  horizon.Seconds(),
+			NoC4D:     *noC4D,
+			Online:    *online,
+		},
+	}
+	os.Exit(runSession(spec, *telemOut))
+}
 
-	var kind harness.ProviderKind
-	switch *provider {
-	case "baseline":
-		kind = harness.Baseline
-	case "c4p":
-		kind = harness.C4PStatic
-	case "c4p-dynamic":
-		kind = harness.C4PDynamic
-	default:
-		fmt.Fprintf(os.Stderr, "c4sim: unknown provider %q\n", *provider)
-		os.Exit(2)
-	}
-
-	var nodes []int
-	switch *placement {
-	case "topo":
-		// Topology-aware placement (§III-B): pack leaf groups so ring
-		// edges avoid the spine layer entirely where possible.
-		sc := sched.New(env.Topo)
-		alloc, err := sc.Allocate(16)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
-			os.Exit(1)
-		}
-		nodes = sched.RingOrder(env.Topo, alloc)
-	case "spread":
-		// Worst-case placement: every ring edge crosses the spines.
-		for i := 0; i < 16; i++ {
-			if i%2 == 0 {
-				nodes = append(nodes, i/2)
-			} else {
-				nodes = append(nodes, 8+i/2)
-			}
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "c4sim: unknown placement %q\n", *placement)
-		os.Exit(2)
-	}
-	model, ok := workload.ModelByName(*jobName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "c4sim: unknown job %q (have: %s)\n",
-			*jobName, strings.Join(workload.ModelNames(), ", "))
-		os.Exit(2)
-	}
-	specs := workload.Fig14Jobs(nodes)
-	var jobSpec workload.JobSpec
-	switch model.Name {
-	case workload.GPT22B.Name:
-		jobSpec = specs[0]
-	case workload.Llama7B.Name:
-		jobSpec = specs[1]
-	case workload.GPT175B.Name:
-		jobSpec = specs[2]
-	default:
-		// Models outside Fig 14 (Llama-13B) run the Job1-style TP8×DP16
-		// configuration with their own gradient volume.
-		jobSpec = specs[0]
-		jobSpec.Name, jobSpec.Model = model.Name, model
-	}
-
-	logf := func(format string, args ...any) {
-		fmt.Printf("[%12v] ", env.Eng.Now())
-		fmt.Printf(format+"\n", args...)
-	}
-
-	analyzer := rca.NewAnalyzer(0)
-	var fleet *c4d.Fleet
-	var master *c4d.Master
-	jobCfg := job.Config{
-		Engine: env.Eng, Net: env.Net,
-		Provider:   env.NewProvider(kind, *seed),
-		Rails:      []int{0},
-		Spec:       jobSpec,
-		Rand:       sim.NewRand(*seed),
-		QPsPerConn: 4,
-	}
-	if !*noC4D {
-		master = c4d.NewMaster(c4d.Config{})
-		fleet = c4d.NewFleet(env.Eng, master)
-		jobCfg.Sink = fleet
-	}
-
-	// Streaming telemetry plane: a JSONL export and/or the online detector
-	// racing batch C4D, fed from the same instrumentation point.
-	var pipe *telemetry.Pipeline
-	var streamW *telemetry.StreamWriter
-	var streamFile *os.File
-	{
-		var consumers []telemetry.Consumer
-		if *telemOut != "" {
-			f, err := os.Create(*telemOut)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
-				os.Exit(1)
-			}
-			streamFile = f
-			streamW = telemetry.NewStreamWriter(f)
-			consumers = append(consumers, streamW)
-		}
-		if *online {
-			det := telemetry.NewOnlineDetector(env.Eng, telemetry.DetectorConfig{})
-			det.Subscribe(func(d c4d.Detection) {
-				fmt.Printf("[%12v] ONLINE: %v\n", env.Eng.Now(), d)
-			})
-			consumers = append(consumers, det)
-		}
-		if len(consumers) > 0 {
-			pipe = telemetry.NewPipeline(env.Eng, telemetry.PipelineConfig{}, consumers...)
-			jobCfg.Sink = accl.Fanout(jobCfg.Sink, pipe)
-		}
-	}
-	j, err := job.New(jobCfg)
+// runSession executes one job/plan-mode session spec, optionally exporting
+// its telemetry stream as JSONL — the CLI face of the shared session API.
+// Spec errors exit 2 (bad flags), runtime errors exit 1.
+func runSession(spec c4.SessionSpec, telemOut string) int {
+	sess, err := c4.NewSession(c4.SessionOptions{Spec: spec, Log: os.Stdout})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
-		os.Exit(1)
+		return 2
 	}
-	j.OnIteration(func(i int, d sim.Time) {
-		if i%20 == 0 {
-			logf("iteration %d done in %v (%.1f samples/sec)",
-				i, d, jobSpec.SamplesPerIter/d.Seconds())
+	defer sess.Close()
+	var streamW *c4.TelemetryStreamWriter
+	var streamFile *os.File
+	if telemOut != "" {
+		f, err := os.Create(telemOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+			return 1
 		}
-	})
-
-	if master != nil {
-		nextSpare := 16
-		svc := steering.NewService(steering.Config{
-			Engine: env.Eng, Cluster: machines,
-			IsolationDelay: 30 * sim.Second,
-			RestartDelay:   3 * sim.Minute,
-			Isolate: func(node int) {
-				logf("steering: isolating node %d, stopping job", node)
-				j.Stop()
-			},
-			Restart: func(node, repl int) {
-				spare := nextSpare
-				nextSpare++
-				logf("steering: replacing node %d with spare %d, restarting job", node, spare)
-				if err := j.ReplaceNode(node, spare); err != nil {
-					logf("steering: replace failed: %v", err)
-					return
-				}
-				j.Run(1_000_000, nil)
-			},
-		})
-		master.Subscribe(func(ev c4d.Event) {
-			logf("C4D: %v", ev)
-			rep := analyzer.Classify(ev)
-			top := rep.Top()
-			logf("RCA: most likely %v (%.0f%% confidence)", top.Kind, top.Confidence*100)
-			if ev.Syndrome == c4d.CommHang || ev.Syndrome == c4d.NonCommHang {
-				svc.Handle(ev)
-			}
-		})
+		streamFile = f
+		streamW = c4.NewTelemetryStreamWriter(f)
+		sess.AttachSink(streamW)
 	}
-
-	j.Run(1_000_000, nil)
-
-	if *fault != "none" {
-		env.Eng.Schedule(sim.FromDuration(*faultAt), func() {
-			switch *fault {
-			case "crash":
-				logf("FAULT: crashing worker process on node %d", *victim)
-				// The server monitor sees the GPU Xid before anyone else.
-				analyzer.Observe(rca.Telemetry{Time: env.Eng.Now(), Kind: rca.TelemetryXidError, Node: *victim})
-				j.SetCrashed(*victim, true)
-			case "straggler":
-				logf("FAULT: node %d becomes a straggler (+400ms/iteration)", *victim)
-				j.SetStraggler(*victim, 400*sim.Millisecond)
-			case "nic":
-				logf("FAULT: node %d loses both NIC ports on rail 0", *victim)
-				analyzer.Observe(rca.Telemetry{Time: env.Eng.Now(), Kind: rca.TelemetryNICDown, Node: *victim})
-				for p := 0; p < topo.Planes; p++ {
-					port := env.Topo.PortAt(*victim, 0, p)
-					env.Net.SetLinkUp(port.Up, false)
-					env.Net.SetLinkUp(port.Down, false)
-				}
-			default:
-				fmt.Fprintf(os.Stderr, "c4sim: unknown fault %q\n", *fault)
-				os.Exit(2)
-			}
-		})
+	if err := sess.Run(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+		return 1
 	}
-
-	env.Eng.RunUntil(sim.FromDuration(*horizon))
-	if fleet != nil {
-		fleet.Stop()
-	}
-	if pipe != nil {
-		pipe.Stop()
-		if streamW != nil {
-			if err := streamW.Flush(); err != nil {
-				fmt.Fprintf(os.Stderr, "c4sim: writing telemetry stream: %v\n", err)
-				os.Exit(1)
-			}
-			streamFile.Close()
-			logf("telemetry: %d records written to %s (%d dropped)",
-				streamW.Written(), *telemOut, pipe.Dropped())
+	if streamW != nil {
+		if err := streamW.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "c4sim: writing telemetry stream: %v\n", err)
+			return 1
 		}
+		streamFile.Close()
+		fmt.Printf("telemetry: %d records written to %s\n", streamW.Written(), telemOut)
 	}
-
-	iters := j.IterTimes()
-	fmt.Println()
-	logf("simulation finished: %d iterations completed", len(iters))
-	if len(iters) > 0 {
-		var sum sim.Time
-		for _, d := range iters {
-			sum += d
-		}
-		avg := sum / sim.Time(len(iters))
-		logf("average iteration: %v (%.1f samples/sec)", avg, jobSpec.SamplesPerIter/avg.Seconds())
-	}
-	if master != nil {
-		logf("C4D emitted %d events", len(master.Events()))
-	}
+	return 0
 }
 
 // runCampaigns executes fault-injection campaigns through the registry
@@ -321,7 +147,7 @@ func runCampaigns(selection, jsonDir string, seed int64, workers int) int {
 		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
 		return 2
 	}
-	reports := (&scenario.Runner{Workers: workers}).Run(seed, scns)
+	reports := (&scenario.Runner{Workers: workers}).Run(context.Background(), seed, scns)
 	failures := 0
 	for _, rep := range reports {
 		if scenario.FprintReport(os.Stdout, rep) {
@@ -366,39 +192,28 @@ func runTenancy(path, policy, provider string, spines int, horizon time.Duration
 		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
 		return 2
 	}
-	trace, err := tenancy.ParseTrace(data)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
-		return 2
-	}
-	pol, err := sched.ParsePolicy(policy)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
-		return 2
-	}
-	// Same flag semantics as the scenario path above: "c4p" is static
-	// traffic engineering, "c4p-dynamic" adds reallocation + QP balance.
-	var arm tenancy.Arm
-	switch provider {
-	case "baseline":
-		arm = tenancy.ArmPinnedECMP
-	case "c4p":
-		arm = tenancy.ArmC4PStatic
-	case "c4p-dynamic":
-		arm = tenancy.ArmC4P
-	default:
-		fmt.Fprintf(os.Stderr, "c4sim: unknown provider %q\n", provider)
-		return 2
-	}
-	res := tenancy.Run(tenancy.Config{
-		Spines:  spines,
-		Policy:  pol,
-		Arm:     arm,
-		Horizon: sim.FromDuration(horizon),
-		Seed:    seed,
-		Trace:   trace,
+	sess, err := c4.NewSession(c4.SessionOptions{
+		Spec: c4.SessionSpec{
+			Seed: seed,
+			Tenancy: &c4.SessionTenancy{
+				Trace:    data,
+				Policy:   policy,
+				Provider: provider,
+				Spines:   spines,
+				HorizonS: horizon.Seconds(),
+			},
+		},
+		Log: os.Stdout,
 	})
-	fmt.Print(res)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+		return 2
+	}
+	defer sess.Close()
+	if err := sess.Run(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
+		return 1
+	}
 	return 0
 }
 
@@ -407,74 +222,17 @@ func runTenancy(path, policy, provider string, spines int, horizon time.Duration
 // prints the compiled schedule plus the measured iteration breakdown —
 // the single-job window into what the plan/* scenario family sweeps.
 func runPlan(strategy, modelName, provider string, bucketMiB float64, overlap bool, iters int, seed int64) int {
-	par, err := workload.ParseParallelism(strategy)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
-		return 2
-	}
-	model, ok := workload.ModelByName(modelName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "c4sim: unknown job %q (have: %s)\n",
-			modelName, strings.Join(workload.ModelNames(), ", "))
-		return 2
-	}
-	world := par.PP * par.DP
-	if world > 16 {
-		fmt.Fprintf(os.Stderr, "c4sim: strategy %v needs %d nodes, testbed has 16\n", par, world)
-		return 2
-	}
-	var kind harness.ProviderKind
-	switch provider {
-	case "baseline":
-		kind = harness.Baseline
-	case "c4p":
-		kind = harness.C4PStatic
-	case "c4p-dynamic":
-		kind = harness.C4PDynamic
-	default:
-		fmt.Fprintf(os.Stderr, "c4sim: unknown provider %q\n", provider)
-		return 2
-	}
-	// Spread placement: alternating leaf groups, so ring and pipeline
-	// edges cross the spine layer — the same placement the plan/*
-	// scenarios sweep.
-	nodes := harness.InterleavedNodes(world)
-	env := harness.NewEnv(topo.MultiJobTestbed(8))
-	spec := workload.JobSpec{
-		Name:                 model.Name,
-		Model:                model,
-		Par:                  par,
-		Nodes:                nodes,
-		ComputePerMicroBatch: 550 * sim.Millisecond,
-		ComputeJitter:        0.02,
-		SamplesPerIter:       64,
-	}
-	j, err := job.New(job.Config{
-		Engine: env.Eng, Net: env.Net,
-		Provider:   env.NewProvider(kind, seed),
-		Rails:      []int{0},
-		Spec:       spec,
-		Plan:       plan.Options{BucketBytes: bucketMiB * (1 << 20), Overlap: overlap},
-		Rand:       sim.NewRand(seed),
-		QPsPerConn: 8,
-	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
-		return 1
-	}
-	fmt.Println(j.Plan())
-	j.OnIteration(func(i int, d sim.Time) {
-		fmt.Printf("iteration %2d: %v\n", i, d)
-	})
-	var rep job.Report
-	j.Run(iters, func(r job.Report) { rep = r })
-	env.Eng.Run()
-	fmt.Printf("\n%d iterations under %v:\n", rep.Iters, kind)
-	fmt.Printf("  avg iteration  %v (%.1f samples/s)\n", rep.AvgIter, rep.SamplesPerSec)
-	fmt.Printf("  compute        %v\n", rep.AvgCompute)
-	fmt.Printf("  pipeline bubble %v\n", rep.AvgBubble)
-	fmt.Printf("  exposed comm   %v (%.1f%% of the iteration)\n", rep.AvgExposed, rep.ExposedShare()*100)
-	return 0
+	return runSession(c4.SessionSpec{
+		Seed: seed,
+		Job: &c4.SessionJob{
+			Model:         modelName,
+			Provider:      provider,
+			Plan:          strategy,
+			PlanBucketMiB: bucketMiB,
+			PlanOverlap:   overlap,
+			PlanIters:     iters,
+		},
+	}, "")
 }
 
 // runScenarios executes a registry selection on the worker-pool runner and
@@ -485,7 +243,7 @@ func runScenarios(selection string, seed int64, workers int) int {
 		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
 		return 2
 	}
-	reports := (&scenario.Runner{Workers: workers}).Run(seed, scns)
+	reports := (&scenario.Runner{Workers: workers}).Run(context.Background(), seed, scns)
 	failures := 0
 	for _, rep := range reports {
 		if scenario.FprintReport(os.Stdout, rep) {

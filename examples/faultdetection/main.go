@@ -13,7 +13,10 @@ import (
 )
 
 func main() {
-	env := c4.NewEnv(c4.PaperTestbed())
+	env, err := c4.OpenEnv(c4.EnvOptions{Spec: c4.PaperTestbed()})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	master := c4.NewC4DMaster(c4.C4DConfig{})
 	fleet := c4.NewC4DFleet(env.Eng, master)
@@ -22,10 +25,16 @@ func main() {
 	})
 
 	nodes := []int{0, 2, 4, 6, 8, 10}
+	prov, err := c4.OpenC4PMaster(c4.C4PMasterOptions{
+		Topology: env.Topo, Mode: c4.C4PStaticMode, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	comm, err := c4.NewCommunicator(c4.CommConfig{
 		Engine:   env.Eng,
 		Net:      env.Net,
-		Provider: c4.NewC4PMaster(env.Topo, c4.C4PStaticMode, c4.NewRand(1)),
+		Provider: prov,
 		Sink:     fleet,
 	}, nodes)
 	if err != nil {

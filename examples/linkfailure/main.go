@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"c4"
 	"c4/internal/harness"
@@ -21,7 +22,10 @@ func main() {
 		horizon = 60 * c4.Second
 	)
 	run := func(kind c4.ProviderKind, qps int, adaptive bool) (pre, post float64) {
-		env := c4.NewEnv(c4.MultiJobTestbed(8))
+		env, err := c4.OpenEnv(c4.EnvOptions{Spec: c4.MultiJobTestbed(8)})
+		if err != nil {
+			log.Fatal(err)
+		}
 		prov := env.NewProvider(kind, 1)
 		var benches []*harness.Bench
 		for i := 0; i < 8; i++ {

@@ -17,7 +17,10 @@ import (
 
 func main() {
 	run := func(par c4.Parallelism, opts c4.PlanOptions) {
-		env := c4.NewEnv(c4.MultiJobTestbed(8))
+		env, err := c4.OpenEnv(c4.EnvOptions{Spec: c4.MultiJobTestbed(8)})
+		if err != nil {
+			log.Fatal(err)
+		}
 		// Spread placement: alternating leaf groups, so pipeline and ring
 		// edges cross the spine layer (the paper's benchmark placement).
 		nodes := harness.InterleavedNodes(par.PP * par.DP)

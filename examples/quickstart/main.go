@@ -14,7 +14,10 @@ import (
 func main() {
 	run := func(kind c4.ProviderKind) float64 {
 		// A 16-node × 8-GPU cluster, two leaf groups, 1:1 fat-tree.
-		env := c4.NewEnv(c4.MultiJobTestbed(8))
+		env, err := c4.OpenEnv(c4.EnvOptions{Spec: c4.MultiJobTestbed(8)})
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		// 8 nodes alternating between leaf groups so every ring edge
 		// crosses the spine layer.

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"c4"
 	"c4/internal/harness"
@@ -14,7 +15,10 @@ import (
 
 func main() {
 	for _, kind := range []c4.ProviderKind{c4.BaselineECMP, c4.C4PStatic} {
-		env := c4.NewEnv(c4.MultiJobTestbed(8))
+		env, err := c4.OpenEnv(c4.EnvOptions{Spec: c4.MultiJobTestbed(8)})
+		if err != nil {
+			log.Fatal(err)
+		}
 		prov := env.NewProvider(kind, 1)
 
 		// Job i spans nodes {i, i+8}: one server per leaf group, so all

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -45,7 +46,7 @@ func TestScenarios(t *testing.T) {
 	go func() {
 		defer close(parallelDone)
 		r := &scenario.Runner{Workers: runtime.GOMAXPROCS(0)}
-		reports = r.Run(seed, scns)
+		reports = r.Run(context.Background(), seed, scns)
 	}()
 
 	serial := make([]string, len(scns))
@@ -151,7 +152,7 @@ func TestRunnerStats(t *testing.T) {
 	if !ok {
 		t.Fatal("fig9 not registered")
 	}
-	rep := scenario.RunOne(s, 1)
+	rep := scenario.RunOne(context.Background(), s, 1)
 	if rep.Err != nil || rep.ShapeErr != nil {
 		t.Fatalf("fig9: err=%v shape=%v", rep.Err, rep.ShapeErr)
 	}
@@ -193,7 +194,7 @@ func TestRegistryCoversHarness(t *testing.T) {
 // checks its one-line headline renders from the typed result.
 func TestSummarizersMatchResults(t *testing.T) {
 	s, _ := scenario.Get("tableI")
-	rep := scenario.RunOne(s, 1)
+	rep := scenario.RunOne(context.Background(), s, 1)
 	if rep.Err != nil {
 		t.Fatal(rep.Err)
 	}
@@ -210,7 +211,7 @@ func TestMetricsExtractors(t *testing.T) {
 		if !ok || s.Metrics == nil {
 			t.Fatalf("scenario %q missing or untracked", name)
 		}
-		rep := scenario.RunOne(s, 1)
+		rep := scenario.RunOne(context.Background(), s, 1)
 		if rep.Err != nil {
 			t.Fatal(rep.Err)
 		}

@@ -12,6 +12,7 @@
 package job
 
 import (
+	"context"
 	"fmt"
 
 	"c4/internal/accl"
@@ -30,6 +31,10 @@ type Config struct {
 	Rails    []int
 	Rand     *sim.Rand
 	Spec     workload.JobSpec
+	// Context cancels planned-schedule execution cooperatively: once it
+	// is cancelled, in-flight iterations stop scheduling work and the
+	// engine queue drains. nil means never cancelled.
+	Context context.Context
 	// Plan tunes the compiled iteration schedule: gradient bucket size,
 	// comm/compute overlap, activation volume. The zero value compiles
 	// pure-DP GA=1 jobs to the fused single-allreduce step.
@@ -368,7 +373,7 @@ func (j *Job) iteratePlanned() {
 			}
 		},
 	}
-	p.ExecIter(fab, tm, func(st plan.IterStats) {
+	p.ExecIter(j.cfg.Context, fab, tm, func(st plan.IterStats) {
 		if j.commEpoch != epoch {
 			return // abandoned iteration: comms were rebuilt underneath it
 		}

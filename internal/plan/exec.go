@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"c4/internal/sim"
@@ -59,6 +60,7 @@ func (s IterStats) IterTime() sim.Time { return s.End - s.Start }
 type exec struct {
 	p     *Plan
 	f     Fabric
+	ctx   context.Context
 	tm    IterTiming
 	start sim.Time
 
@@ -92,12 +94,19 @@ type stageState struct {
 // current instant; onDone fires at the iteration's completion with the
 // measured breakdown. The caller must not start a second iteration of
 // the same plan before the first completes (stages are serial).
-func (p *Plan) ExecIter(f Fabric, tm IterTiming, onDone func(IterStats)) {
+//
+// ctx is a cooperative cancellation signal: once it is cancelled the
+// executor stops scheduling new compute slots and transfers, so the
+// iteration's event cascade dies out and the engine queue drains instead
+// of running the schedule to completion (onDone then never fires). A nil
+// ctx — or one that is never cancelled — leaves execution bit-identical
+// to the pre-context behavior.
+func (p *Plan) ExecIter(ctx context.Context, f Fabric, tm IterTiming, onDone func(IterStats)) {
 	if f.Engine == nil || f.P2P == nil || f.DPSync == nil {
 		panic("plan: ExecIter needs Engine, P2P and DPSync")
 	}
 	e := &exec{
-		p: p, f: f, tm: tm,
+		p: p, f: f, ctx: ctx, tm: tm,
 		start:       f.Engine.Now(),
 		computeLeft: p.DP * p.PP * 2 * p.GA,
 		syncLeft:    p.PP * len(p.Buckets),
@@ -160,10 +169,19 @@ func (e *exec) slotDur(kind TaskKind, d, s int) sim.Time {
 	return dur
 }
 
+// cancelled reports whether the iteration's context was cancelled; the
+// executor then freezes the DAG by refusing to schedule further work.
+func (e *exec) cancelled() bool {
+	return e.ctx != nil && e.ctx.Err() != nil
+}
+
 // try schedules stage (d, s)'s next tasks for as long as their data
 // dependencies are already determined. Every dependency's arrival
 // callback re-invokes try, so the stage resumes the moment it unblocks.
 func (e *exec) try(d, s int) {
+	if e.cancelled() {
+		return
+	}
 	st := e.st[d][s]
 	order := e.p.Order[s]
 	for st.idx < len(order) {
@@ -227,6 +245,9 @@ func (e *exec) recordBuckets(d, s int, begin, end sim.Time) {
 // output tensor, wakes the neighbor stage, and closes the iteration's
 // compute accounting.
 func (e *exec) completeSlot(d, s int, t Task, begin, end sim.Time) {
+	if e.cancelled() {
+		return
+	}
 	if end > e.computeEnd {
 		e.computeEnd = end
 	}

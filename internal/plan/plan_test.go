@@ -157,7 +157,7 @@ func TestExecPurePipelineMatchesBubbleFormula(t *testing.T) {
 	eng := sim.NewEngine()
 	p := mustCompile(t, testSpec(4, 1, 8, 4), Options{})
 	var stats IterStats
-	p.ExecIter(stubFabric(eng, 0, 0), IterTiming{}, func(s IterStats) { stats = s })
+	p.ExecIter(nil, stubFabric(eng, 0, 0), IterTiming{}, func(s IterStats) { stats = s })
 	eng.Run()
 	if stats.End == 0 {
 		t.Fatal("iteration never completed")
@@ -188,7 +188,7 @@ func TestExecOverlapHidesSyncTail(t *testing.T) {
 		eng := sim.NewEngine()
 		p := mustCompile(t, testSpec(1, 2, 2, 2), opts)
 		var stats IterStats
-		p.ExecIter(stubFabric(eng, 0, nsPerByte), IterTiming{}, func(s IterStats) { stats = s })
+		p.ExecIter(nil, stubFabric(eng, 0, nsPerByte), IterTiming{}, func(s IterStats) { stats = s })
 		eng.Run()
 		return stats
 	}
@@ -211,7 +211,7 @@ func TestExecP2PLatencyStallsPipeline(t *testing.T) {
 		eng := sim.NewEngine()
 		p := mustCompile(t, testSpec(2, 1, 2, 2), Options{})
 		var stats IterStats
-		p.ExecIter(stubFabric(eng, lat, 0), IterTiming{}, func(s IterStats) { stats = s })
+		p.ExecIter(nil, stubFabric(eng, lat, 0), IterTiming{}, func(s IterStats) { stats = s })
 		eng.Run()
 		return stats
 	}
@@ -230,7 +230,7 @@ func TestExecStragglerExtraSlowsIteration(t *testing.T) {
 		p := mustCompile(t, testSpec(2, 2, 2, 4), Options{})
 		tm := IterTiming{Scale: [][]float64{{1, 1}, {1, 1}}, Extra: [][]sim.Time{{extra, 0}, {0, 0}}}
 		var stats IterStats
-		p.ExecIter(stubFabric(eng, 0, 0), tm, func(s IterStats) { stats = s })
+		p.ExecIter(nil, stubFabric(eng, 0, 0), tm, func(s IterStats) { stats = s })
 		eng.Run()
 		return stats
 	}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,7 +37,12 @@ type Runner struct {
 // Run executes every scenario with the given root seed and returns one
 // report per scenario, in input order. Panics inside a scenario are
 // captured into the report rather than killing sibling workers.
-func (r *Runner) Run(seed int64, scns []Scenario) []Report {
+//
+// ctx bounds the sweep: scenarios not yet started when it is cancelled
+// report the cancellation error instead of running, and the context is
+// exposed to scenario code through Ctx.Context. A run that completes is
+// byte-identical regardless of the context used.
+func (r *Runner) Run(ctx context.Context, seed int64, scns []Scenario) []Report {
 	reports := make([]Report, len(scns))
 	// When the scenario pool itself runs wide, nested pools (campaign
 	// trials) get one worker each so total concurrency stays at the
@@ -51,7 +57,7 @@ func (r *Runner) Run(seed int64, scns []Scenario) []Report {
 	// was derived from it, and handing ForEach the raw r.Workers would let
 	// the two disagree if either clamp ever changes.
 	ForEach(len(scns), outer, func(i int) {
-		reports[i] = runOne(scns[i], seed, nested)
+		reports[i] = runOne(ctx, scns[i], seed, nested)
 	})
 	return reports
 }
@@ -99,11 +105,21 @@ func ForEach(n, workers int, fn func(int)) {
 // CheckShape are scenario-author code, so both execute under the panic
 // guard; a Run that returns nil without panicking is reported as an error
 // rather than a silent success.
-func RunOne(s Scenario, seed int64) Report { return runOne(s, seed, 0) }
+func RunOne(ctx context.Context, s Scenario, seed int64) Report {
+	return runOne(ctx, s, seed, 0)
+}
 
-func runOne(s Scenario, seed int64, workers int) Report {
+func runOne(cctx context.Context, s Scenario, seed int64, workers int) Report {
 	rep := Report{Name: s.Name, Seed: seed}
+	if cctx == nil {
+		cctx = context.Background()
+	}
+	if err := cctx.Err(); err != nil {
+		rep.Err = fmt.Errorf("scenario %s not started: %w", s.Name, err)
+		return rep
+	}
 	ctx := NewCtx(seed)
+	ctx.Context = cctx
 	ctx.Workers = workers
 	start := time.Now()
 	func() {

@@ -11,7 +11,10 @@
 // individual run is deterministic; the registry guarantees isolation).
 package scenario
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Result is what every scenario produces: a printable rendering of the
 // paper's rows/series plus a shape check asserting the paper's
@@ -36,6 +39,12 @@ type Ctx struct {
 	// Seed is the root seed; scenarios derive all RNG streams from it so
 	// equal seeds give bit-identical results.
 	Seed int64
+	// Context carries the caller's cancellation signal. Long-running
+	// scenario code may poll it and abandon work early; the runner also
+	// refuses to start new scenarios once it is cancelled. It never
+	// affects results of runs that complete: a scenario either finishes
+	// bit-identically or reports a cancellation error.
+	Context context.Context
 	// Workers bounds any nested worker pool the scenario spawns (the
 	// fault campaigns run trials concurrently); 0 means GOMAXPROCS. The
 	// runner propagates its own bound here so `-workers 1` really is a
@@ -46,7 +55,7 @@ type Ctx struct {
 }
 
 // NewCtx returns a context for one scenario execution.
-func NewCtx(seed int64) *Ctx { return &Ctx{Seed: seed} }
+func NewCtx(seed int64) *Ctx { return &Ctx{Seed: seed, Context: context.Background()} }
 
 // Track registers an engine (or anything that counts fired events) so the
 // runner can report per-scenario event totals.

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -102,8 +103,8 @@ func TestRunnerParallelMatchesSerial(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		scns = append(scns, fake(fmt.Sprintf("runner-fake-%d", i)))
 	}
-	serial := (&Runner{Workers: 1}).Run(42, scns)
-	parallel := (&Runner{Workers: 8}).Run(42, scns)
+	serial := (&Runner{Workers: 1}).Run(context.Background(), 42, scns)
+	parallel := (&Runner{Workers: 8}).Run(context.Background(), 42, scns)
 	for i := range scns {
 		if serial[i].Name != scns[i].Name {
 			t.Fatalf("report %d out of order: %s", i, serial[i].Name)
@@ -129,7 +130,7 @@ func TestRunnerCapturesPanics(t *testing.T) {
 			return fakeResult{text: "r", shape: fmt.Errorf("claim violated")}
 		}},
 	}
-	reps := (&Runner{Workers: 2}).Run(1, scns)
+	reps := (&Runner{Workers: 2}).Run(context.Background(), 1, scns)
 	if reps[0].Err == nil || !strings.Contains(reps[0].Err.Error(), "boom") {
 		t.Fatalf("panic not captured: %v", reps[0].Err)
 	}
@@ -161,7 +162,7 @@ func TestRunnerWorkerResolution(t *testing.T) {
 	}
 
 	var single int
-	reps := (&Runner{Workers: 0}).Run(1, []Scenario{observe("single", &single)})
+	reps := (&Runner{Workers: 0}).Run(context.Background(), 1, []Scenario{observe("single", &single)})
 	if len(reps) != 1 || reps[0].Err != nil {
 		t.Fatalf("single-scenario run failed: %+v", reps)
 	}
@@ -174,7 +175,7 @@ func TestRunnerWorkerResolution(t *testing.T) {
 	for i := range scns {
 		scns[i] = observe(fmt.Sprintf("wide-%d", i), &nested[i])
 	}
-	for _, rep := range (&Runner{Workers: 3}).Run(1, scns) {
+	for _, rep := range (&Runner{Workers: 3}).Run(context.Background(), 1, scns) {
 		if rep.Err != nil {
 			t.Fatalf("wide run failed: %v", rep.Err)
 		}
@@ -206,7 +207,7 @@ func (panicShapeResult) CheckShape() error { panic("shape blew up") }
 func TestRunOneGuardsAuthorCode(t *testing.T) {
 	// CheckShape is scenario-author code too: a panic there must land in
 	// the report, not kill the worker pool.
-	rep := RunOne(Scenario{
+	rep := RunOne(context.Background(), Scenario{
 		Name: "panic-shape",
 		Run:  func(*Ctx) Result { return panicShapeResult{} },
 	}, 1)
@@ -215,7 +216,7 @@ func TestRunOneGuardsAuthorCode(t *testing.T) {
 	}
 
 	// A nil Result without a panic is a broken scenario, not a success.
-	rep = RunOne(Scenario{
+	rep = RunOne(context.Background(), Scenario{
 		Name: "nil-result",
 		Run:  func(*Ctx) Result { return nil },
 	}, 1)

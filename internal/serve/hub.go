@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"sync"
+
+	"c4/internal/telemetry"
+)
+
+// hub is the per-session telemetry broadcast buffer. It implements
+// telemetry.Sink on the session's run goroutine, retaining every encoded
+// JSONL line (up to a byte budget) so a subscriber that connects late —
+// or reconnects — replays the stream from the first record and then
+// follows the live tail. Appends wake blocked subscribers by closing the
+// current wake channel; subscribers never see a torn line because lines
+// are immutable once appended.
+type hub struct {
+	mu        sync.Mutex
+	lines     [][]byte
+	bytes     int
+	limit     int
+	truncated bool
+	closed    bool
+	wake      chan struct{}
+}
+
+func newHub(limit int) *hub {
+	return &hub{limit: limit, wake: make(chan struct{})}
+}
+
+// Observe implements telemetry.Sink. Records past the byte budget are
+// dropped and the stream is marked truncated — a bounded session table
+// must not let one chatty session exhaust the process.
+func (h *hub) Observe(r telemetry.Record) {
+	line, err := telemetry.EncodeRecord(r)
+	if err != nil {
+		return // a record that cannot encode is dropped, not fatal
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	if h.limit > 0 && h.bytes+len(line) > h.limit {
+		h.truncated = true
+		return
+	}
+	h.lines = append(h.lines, line)
+	h.bytes += len(line)
+	h.notify()
+}
+
+// Close marks the stream complete; subscribers drain the buffer and stop.
+// Safe to call more than once.
+func (h *hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	h.notify()
+}
+
+// notify wakes blocked subscribers. Callers hold h.mu.
+func (h *hub) notify() {
+	close(h.wake)
+	h.wake = make(chan struct{})
+}
+
+// next returns the lines appended since index from, the new index, whether
+// the stream has completed, and a channel that closes on the next append.
+// A subscriber loops: write lines, and when done && len(lines) == 0, stop;
+// otherwise wait on wake.
+func (h *hub) next(from int) (lines [][]byte, to int, done bool, wake <-chan struct{}) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if from > len(h.lines) {
+		from = len(h.lines)
+	}
+	return h.lines[from:], len(h.lines), h.closed, h.wake
+}
+
+// stats reports the retained record count and whether the budget dropped
+// records.
+func (h *hub) stats() (records int, truncated bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.lines), h.truncated
+}

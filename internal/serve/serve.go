@@ -1,0 +1,432 @@
+// Package serve is the simulation-as-a-service plane: an HTTP/JSON
+// session API over the shared c4.Session lifecycle. The daemon
+// (cmd/c4serve) mounts Server on a listener; every endpoint manipulates
+// one bounded table of isolated sessions, so N clients can create, run,
+// stream and tear down simulations concurrently while each session's
+// metrics and telemetry stay byte-identical to a one-shot c4sim run of
+// the same spec and seed.
+//
+// Endpoints:
+//
+//	POST   /v1/sessions             create a session from a JSON spec
+//	GET    /v1/sessions             list sessions
+//	GET    /v1/sessions/{id}        status + metrics
+//	POST   /v1/sessions/{id}/run    start the run (async)
+//	GET    /v1/sessions/{id}/stream live telemetry as SSE (JSONL payloads)
+//	DELETE /v1/sessions/{id}        cancel if running, then remove
+//	GET    /healthz                 liveness probe
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"c4"
+)
+
+// Config bounds the serving plane.
+type Config struct {
+	// MaxSessions caps the session table; creating past the cap evicts
+	// the least-recently-touched finished session, and answers 503 when
+	// every entry is still created/running. Default 32.
+	MaxSessions int
+	// MaxRunning caps concurrently running sessions; starts past the cap
+	// answer 429. Default 8.
+	MaxRunning int
+	// RunTimeout cancels any single run after this wall-clock duration
+	// (0 = no timeout).
+	RunTimeout time.Duration
+	// StreamLimit is the per-session telemetry retention budget in bytes;
+	// past it records are dropped and the stream marked truncated.
+	// Default 64 MiB.
+	StreamLimit int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 32
+	}
+	if c.MaxRunning <= 0 {
+		c.MaxRunning = 8
+	}
+	if c.StreamLimit <= 0 {
+		c.StreamLimit = 64 << 20
+	}
+	return c
+}
+
+// Session lifecycle states, as reported by the API.
+const (
+	StateCreated   = "created"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// session is one table entry.
+type session struct {
+	id    string
+	spec  c4.SessionSpec
+	sess  *c4.Session
+	hub   *hub
+	state string
+	err   string
+
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the run goroutine exits
+	touch  uint64        // eviction order (monotonic, not wall clock)
+}
+
+// Server is the session table plus its HTTP surface.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   uint64
+	clock    uint64 // touch counter
+	running  int
+	draining bool
+	wg       sync.WaitGroup
+}
+
+// New creates a Server.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg.withDefaults(), sessions: map[string]*session{}}
+}
+
+// Handler mounts the API routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
+	mux.HandleFunc("POST /v1/sessions/{id}/run", s.handleRun)
+	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	return mux
+}
+
+// Status is the JSON rendering of one session.
+type Status struct {
+	ID      string             `json:"id"`
+	State   string             `json:"state"`
+	Error   string             `json:"error,omitempty"`
+	Summary string             `json:"summary,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Records counts retained telemetry records; Truncated reports
+	// whether the retention budget dropped any.
+	Records   int  `json:"records"`
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+func (s *Server) status(e *session) Status {
+	records, truncated := e.hub.stats()
+	return Status{
+		ID: e.id, State: e.state, Error: e.err,
+		Summary: e.sess.Summary(), Metrics: e.sess.Metrics(),
+		Records: records, Truncated: truncated,
+	}
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func fail(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleCreate admits a new session: parse and validate the spec (the
+// whole spec — a bad model name fails here, not mid-run), evict the
+// stalest finished entry if the table is full, and park the session in
+// state created with its stream hub already attached.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec c4.SessionSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		fail(w, http.StatusBadRequest, "decoding session spec: %v", err)
+		return
+	}
+	sess, err := c4.NewSession(c4.SessionOptions{Spec: spec})
+	if err != nil {
+		fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	h := newHub(s.cfg.StreamLimit)
+	sess.AttachSink(h)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		fail(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions && !s.evictLocked() {
+		fail(w, http.StatusServiceUnavailable,
+			"session table full (%d) and nothing evictable; delete or finish sessions", s.cfg.MaxSessions)
+		return
+	}
+	s.nextID++
+	e := &session{
+		id:    fmt.Sprintf("s%06d", s.nextID),
+		spec:  spec,
+		sess:  sess,
+		hub:   h,
+		state: StateCreated,
+		done:  make(chan struct{}),
+	}
+	s.touchLocked(e)
+	s.sessions[e.id] = e
+	writeJSON(w, http.StatusCreated, s.status(e))
+}
+
+// evictLocked removes the least-recently-touched terminal session.
+// Created and running sessions are never evicted — callers own their
+// teardown — so a table of 32 still-pending sessions refuses admission
+// rather than cancelling someone's work.
+func (s *Server) evictLocked() bool {
+	var victim *session
+	for _, e := range s.sessions {
+		switch e.state {
+		case StateDone, StateFailed, StateCancelled:
+			if victim == nil || e.touch < victim.touch {
+				victim = e
+			}
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	victim.hub.Close()
+	victim.sess.Close()
+	delete(s.sessions, victim.id)
+	return true
+}
+
+// touchLocked stamps e as most recently used.
+func (s *Server) touchLocked(e *session) {
+	s.clock++
+	e.touch = s.clock
+}
+
+// get fetches and LRU-touches a session.
+func (s *Server) get(id string) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.sessions[id]
+	if ok {
+		s.touchLocked(e)
+	}
+	return e, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	entries := make([]Status, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		entries = append(entries, s.status(e))
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": entries})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("id"))
+	if !ok {
+		fail(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	st := s.status(e)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleRun starts the session's run on its own goroutine under a
+// cancellable (and optionally deadlined) context, subject to the
+// concurrent-run admission cap.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("id"))
+	if !ok {
+		fail(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		fail(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if e.state != StateCreated {
+		st := e.state
+		s.mu.Unlock()
+		fail(w, http.StatusConflict, "session %s is %s; sessions run at most once", e.id, st)
+		return
+	}
+	if s.running >= s.cfg.MaxRunning {
+		s.mu.Unlock()
+		fail(w, http.StatusTooManyRequests,
+			"%d sessions already running (cap %d); retry after one finishes", s.cfg.MaxRunning, s.cfg.MaxRunning)
+		return
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if s.cfg.RunTimeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.RunTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	e.state = StateRunning
+	e.cancel = cancel
+	s.running++
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		err := e.sess.Run(ctx)
+		cancel()
+		e.hub.Close()
+		s.mu.Lock()
+		s.running--
+		switch {
+		case err == nil:
+			e.state = StateDone
+		case errors.Is(err, context.Canceled):
+			e.state = StateCancelled
+			e.err = err.Error()
+		default:
+			e.state = StateFailed
+			e.err = err.Error()
+		}
+		s.mu.Unlock()
+		close(e.done)
+	}()
+
+	s.mu.Lock()
+	st := s.status(e)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleStream serves the session's telemetry as Server-Sent Events: one
+// `data:` event per JSONL record (payload byte-identical to the c4sim
+// -telemetry-out line), replayed from the first record and followed live,
+// closing with an `event: end` carrying the record count. Subscribing to
+// a session that never runs blocks until it runs or is deleted.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("id"))
+	if !ok {
+		fail(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		fail(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	at := 0
+	for {
+		lines, next, done, wake := e.hub.next(at)
+		for _, line := range lines {
+			// line carries its trailing newline; SSE data frames must not,
+			// so trim it and close the event with the blank line.
+			fmt.Fprintf(w, "data: %s\n\n", line[:len(line)-1])
+		}
+		if len(lines) > 0 {
+			fl.Flush()
+		}
+		at = next
+		if done {
+			records, truncated := e.hub.stats()
+			fmt.Fprintf(w, "event: end\ndata: {\"records\": %d, \"truncated\": %t}\n\n", records, truncated)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleDelete cancels the session if it is running, waits for the run
+// goroutine to unwind, and removes the entry.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.get(r.PathValue("id"))
+	if !ok {
+		fail(w, http.StatusNotFound, "no session %q", r.PathValue("id"))
+		return
+	}
+	s.mu.Lock()
+	running := e.state == StateRunning
+	cancel := e.cancel
+	s.mu.Unlock()
+	if running && cancel != nil {
+		cancel()
+		select {
+		case <-e.done:
+		case <-r.Context().Done():
+			fail(w, http.StatusGatewayTimeout, "session %s did not stop before the client gave up", e.id)
+			return
+		}
+	}
+	s.mu.Lock()
+	e.hub.Close()
+	e.sess.Close()
+	delete(s.sessions, e.id)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Shutdown drains the server: new creates and runs are refused
+// immediately, in-flight runs get until ctx expires to finish, then are
+// cancelled and awaited. Always returns with every run goroutine stopped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() { s.wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+	}
+	s.mu.Lock()
+	for _, e := range s.sessions {
+		if e.cancel != nil {
+			e.cancel()
+		}
+	}
+	s.mu.Unlock()
+	<-finished
+	return ctx.Err()
+}

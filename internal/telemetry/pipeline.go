@@ -20,16 +20,27 @@ type PipelineConfig struct {
 	DrainInterval sim.Time
 }
 
-// Consumer receives the merged event-time-ordered record stream.
-type Consumer interface {
+// Sink receives the merged event-time-ordered record stream. Sinks are
+// pluggable: the online detector, the JSONL StreamWriter, the serving
+// plane's SSE broadcast hub and test recorders all implement it and can
+// be attached side by side on one Pipeline. A sink that can fail mid-
+// stream (a writer) should additionally expose Err() so callers can
+// terminate a broken stream instead of silently dropping records.
+type Sink interface {
 	Observe(Record)
 }
 
-// ConsumerFunc adapts a function to the Consumer interface.
-type ConsumerFunc func(Record)
+// Consumer is the historical name for Sink.
+type Consumer = Sink
 
-// Observe implements Consumer.
-func (f ConsumerFunc) Observe(r Record) { f(r) }
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Record)
+
+// Observe implements Sink.
+func (f SinkFunc) Observe(r Record) { f(r) }
+
+// ConsumerFunc is the historical name for SinkFunc.
+type ConsumerFunc = SinkFunc
 
 // Pipeline is the streaming telemetry collection plane. It implements
 // accl.StatsSink: data-plane records (collectives, messages, waits) land

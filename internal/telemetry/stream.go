@@ -117,28 +117,44 @@ func fromWire(w wireRecord) (Record, error) {
 	return rec, nil
 }
 
+// EncodeRecord serializes one record as a JSONL line (trailing newline
+// included), byte-identical to the lines a StreamWriter emits. The
+// serving plane uses it to frame individual records into SSE events
+// without re-implementing the wire format.
+func EncodeRecord(r Record) ([]byte, error) {
+	b, err := json.Marshal(toWire(r))
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
 // StreamWriter serializes the record stream as JSONL. It implements
-// Consumer, so it plugs into a Pipeline beside the online detector.
+// Sink, so it plugs into a Pipeline beside the online detector.
 type StreamWriter struct {
 	w   *bufio.Writer
-	enc *json.Encoder
 	n   uint64
 	err error
 }
 
 // NewStreamWriter wraps a writer.
 func NewStreamWriter(w io.Writer) *StreamWriter {
-	bw := bufio.NewWriter(w)
-	return &StreamWriter{w: bw, enc: json.NewEncoder(bw)}
+	return &StreamWriter{w: bufio.NewWriter(w)}
 }
 
-// Observe implements Consumer. The first encode error sticks; Flush
-// reports it.
+// Observe implements Sink. The first encode or write error sticks —
+// further records are dropped — and is reported by both Err and Flush,
+// so a streaming caller can notice a broken writer mid-run and terminate
+// the stream instead of silently losing the rest of it.
 func (s *StreamWriter) Observe(r Record) {
 	if s.err != nil {
 		return
 	}
-	if err := s.enc.Encode(toWire(r)); err != nil {
+	line, err := EncodeRecord(r)
+	if err == nil {
+		_, err = s.w.Write(line)
+	}
+	if err != nil {
 		s.err = err
 		return
 	}
@@ -148,12 +164,20 @@ func (s *StreamWriter) Observe(r Record) {
 // Written reports how many records were serialized.
 func (s *StreamWriter) Written() uint64 { return s.n }
 
+// Err reports the first encode or write error encountered, without
+// flushing. It is the cheap liveness probe for long-lived streams: nil
+// means every Observe so far was serialized (possibly still buffered).
+func (s *StreamWriter) Err() error { return s.err }
+
 // Flush drains the buffer and returns the first error encountered.
 func (s *StreamWriter) Flush() error {
 	if s.err != nil {
 		return s.err
 	}
-	return s.w.Flush()
+	if err := s.w.Flush(); err != nil {
+		s.err = err
+	}
+	return s.err
 }
 
 // ReadStream parses a JSONL telemetry stream. Blank lines are skipped; a

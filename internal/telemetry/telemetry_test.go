@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -256,5 +257,91 @@ func TestKindStrings(t *testing.T) {
 		if k.String() != want {
 			t.Fatalf("%d.String() = %q", k, k.String())
 		}
+	}
+}
+
+// failAfterWriter fails every write once n bytes have been accepted — the
+// disk-full / broken-pipe model for the stream-error regression tests.
+type failAfterWriter struct {
+	n       int
+	written int
+	err     error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		w.err = errWriterBroken
+		return 0, w.err
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+var errWriterBroken = fmt.Errorf("telemetry test: writer broken")
+
+func TestStreamWriterSurfacesWriteErrors(t *testing.T) {
+	// Regression: Observe used to swallow encoder errors, so a broken
+	// writer silently dropped every subsequent record. The first failure
+	// must stick and surface through both Err and Flush.
+	sw := NewStreamWriter(&failAfterWriter{n: 8 << 10})
+	rec := Record{Time: 5, Node: 1, Comm: 2, Kind: KindMsg,
+		Msg: &accl.MsgEvent{Comm: 2, Seq: 9, SrcNode: 1, DstNode: 3, Bytes: 1 << 20}}
+	var broken uint64
+	for i := 0; i < 1000; i++ {
+		sw.Observe(rec)
+		if sw.Err() != nil {
+			broken = sw.Written()
+			break
+		}
+	}
+	if sw.Err() == nil {
+		t.Fatal("writer broke after 8KiB but Err() stayed nil for 1000 records")
+	}
+	if got := sw.Flush(); got != sw.Err() {
+		t.Fatalf("Flush() = %v, want the sticky Err() %v", got, sw.Err())
+	}
+	// Further records are dropped, not counted as serialized.
+	sw.Observe(rec)
+	if sw.Written() != broken {
+		t.Fatalf("Written() advanced after the error: %d -> %d", broken, sw.Written())
+	}
+}
+
+func TestStreamWriterFlushSurfacesBufferedError(t *testing.T) {
+	// A failure smaller than the bufio buffer only shows up when the
+	// buffer drains: Flush must latch it into Err.
+	sw := NewStreamWriter(&failAfterWriter{n: 0})
+	sw.Observe(Record{Time: 1, Node: 0, Kind: KindCommClose, Comm: 1})
+	if sw.Err() != nil {
+		t.Fatal("error before any flush — buffered write should succeed")
+	}
+	if sw.Flush() == nil {
+		t.Fatal("Flush() = nil on a writer that accepts nothing")
+	}
+	if sw.Err() == nil {
+		t.Fatal("Flush error did not stick in Err()")
+	}
+}
+
+func TestEncodeRecordMatchesStreamWriter(t *testing.T) {
+	rec := Record{Time: 7, Node: 2, Comm: 3, Kind: KindWait,
+		Wait: &accl.WaitEvent{Time: 7, Comm: 3, Seq: 4, Waiter: 2, On: 5, Dur: 11}}
+	line, err := EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	sw.Observe(rec)
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(line, buf.Bytes()) {
+		t.Fatalf("EncodeRecord %q != StreamWriter line %q", line, buf.Bytes())
+	}
+	// And the line round-trips through the stream reader.
+	recs, err := ReadStream(bytes.NewReader(line))
+	if err != nil || len(recs) != 1 || recs[0].Wait.Dur != 11 {
+		t.Fatalf("round trip: recs=%v err=%v", recs, err)
 	}
 }
