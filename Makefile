@@ -1,16 +1,18 @@
 # Tier-1 verification plus the race-enabled CI loop for the C4
-# reproduction. `make ci` is the one-command gate: gofmt + vet + build +
-# the full test suite, then the short suite again under the race detector
-# (which also proves the parallel scenario and campaign runners share no
-# state). The GitHub workflow (.github/workflows/ci.yml) runs the same
-# targets plus the bench-regression guard and a coverage report.
+# reproduction. `make ci` is the one-command gate: lint (gofmt + vet +
+# the c4vet determinism-lint suite) + build + the full test suite, then
+# the short suite again under the race detector (which also proves the
+# parallel scenario and campaign runners share no state). The GitHub
+# workflow (.github/workflows/ci.yml) runs the same targets plus the
+# bench-regression guard and a coverage report, so local and CI gates
+# agree.
 
 GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all build vet fmt-check test test-race kernel-race tenancy-smoke \
-	telemetry-smoke plan-smoke serve-smoke docker ci bench experiments \
-	bench-json bench-baseline bench-check cover clean
+.PHONY: all build vet c4vet lint fmt-check test test-race kernel-race \
+	tenancy-smoke telemetry-smoke plan-smoke serve-smoke docker ci bench \
+	experiments bench-json bench-baseline bench-check cover clean
 
 all: ci
 
@@ -19,6 +21,20 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# The determinism-lint suite (internal/analysis via cmd/c4vet): the
+# replay invariants that have each shipped as a real bug before —
+# map-order float accumulation, wall-clock reads in simulation packages,
+# process-global randomness, swallowed telemetry errors, severed
+# Contexts — plus the deprecated-API gate. Zero unsuppressed findings or
+# the build fails; suppress per line with `//c4vet:allow <name> <reason>`
+# (reason mandatory, unused directives are themselves findings).
+c4vet:
+	$(GO) run ./cmd/c4vet ./...
+
+# The blocking first gate, locally and in CI: formatting, stock vet
+# passes (copylocks, lostcancel, ...), then the c4vet suite.
+lint: fmt-check vet c4vet
 
 # Fast formatting gate: fails listing any file gofmt would rewrite.
 fmt-check:
@@ -72,7 +88,7 @@ serve-smoke:
 docker:
 	docker build -t c4serve:$(SHA) .
 
-ci: fmt-check vet build test test-race kernel-race tenancy-smoke telemetry-smoke plan-smoke serve-smoke
+ci: lint build test test-race kernel-race tenancy-smoke telemetry-smoke plan-smoke serve-smoke
 
 # Microbenchmarks, including the incremental-vs-full-recompute pair
 # (internal/telemetry: BenchmarkIncrementalObserve vs

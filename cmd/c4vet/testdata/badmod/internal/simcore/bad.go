@@ -1,0 +1,52 @@
+// Package simcore is the c4vet smoke-test fixture: a "simulation"
+// package committing one of every violation the suite guards against.
+// The cmd/c4vet test runs the real binary path over this module and
+// asserts the exit code and diagnostics.
+package simcore
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the process-global source and reads the wall clock.
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(int(time.Since(time.Now()))+1) + 1)
+}
+
+// Sum folds floats in map iteration order.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Sink is a telemetry-shaped method whose error gets dropped below.
+type Sink struct{}
+
+// Flush pretends to drain a buffer.
+func (Sink) Flush() error { return nil }
+
+// Drain drops the Flush error and severs its caller's context.
+func Drain(ctx context.Context, s Sink) {
+	s.Flush()
+	_ = context.Background()
+	_ = ctx
+}
+
+// NewSim is the retired constructor.
+//
+// Deprecated: use OpenSim.
+func NewSim() int { return 0 }
+
+// OpenSim is the supported constructor.
+func OpenSim() int { return 0 }
+
+// Boot still calls the retired constructor.
+func Boot() int {
+	//c4vet:allow wallclock
+	return NewSim()
+}

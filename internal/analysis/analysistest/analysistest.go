@@ -1,0 +1,149 @@
+// Package analysistest runs a single analyzer over fixture files and
+// checks its findings against // want annotations, mirroring (a useful
+// subset of) golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line states its expected findings with one or more quoted
+// regular expressions:
+//
+//	sum += v // want `order-sensitive` `second finding on this line`
+//
+// Both `raw` and "interpreted" quoting work. Every finding must match a
+// want on its line and every want must be matched, including findings
+// from the //c4vet:allow directive layer (pseudo-analyzer "allow"), so
+// fixtures can prove both the hit path and the suppression path.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"c4/internal/analysis"
+)
+
+// Run checks the analyzer against the named fixture files (paths
+// relative to the test's testdata directory), type-checked together as
+// one package under pkgPath. Path-gated analyzers (wallclock,
+// globalrand) key off pkgPath, so fixtures choose it to opt in or out.
+func Run(t *testing.T, a *analysis.Analyzer, pkgPath string, fixtures ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	var pkgs []*analysis.Package
+	var wants []*want
+	var srcs []analysis.FixtureFile
+	for _, fx := range fixtures {
+		path := filepath.Join("testdata", fx)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		srcs = append(srcs, analysis.FixtureFile{Name: path, Src: string(data)})
+	}
+	pkg, err := analysis.CheckFixtureFiles(fset, pkgPath, srcs)
+	if err != nil {
+		t.Fatalf("type-checking fixtures for %s: %v", pkgPath, err)
+	}
+	pkgs = append(pkgs, pkg)
+	for _, s := range srcs {
+		ws, err := parseWants(s.Name, s.Src)
+		if err != nil {
+			t.Fatalf("parsing want annotations: %v", err)
+		}
+		wants = append(wants, ws...)
+	}
+
+	diags, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts // want annotations line by line. Each quoted
+// token after "want" is one expected-finding regexp.
+func parseWants(file, src string) ([]*want, error) {
+	var out []*want
+	for i, line := range strings.Split(src, "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		for _, pat := range splitQuoted(m[1]) {
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, &want{file: file, line: i + 1, re: re})
+		}
+	}
+	return out, nil
+}
+
+// splitQuoted parses a sequence of back- or double-quoted strings.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out
+		}
+		switch s[0] {
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:1+end])
+			s = s[end+2:]
+		case '"':
+			// Find the closing quote honoring escapes, then Unquote.
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			if q, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, q)
+			}
+			s = s[end+1:]
+		default:
+			return out
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxLeak flags context.Background()/context.TODO() calls in functions
+// that already have a Context available — a Context parameter anywhere
+// in the enclosing function stack, or an *http.Request (whose
+// r.Context() carries the server's cancellation). PR 7 threaded Context
+// through the runner/executor layers precisely so cancellation reaches
+// the engine's event loop; a fresh Background() severs that chain and
+// the work it guards becomes uncancellable.
+//
+// The nil-default idiom is not flagged: an assignment guarded by
+// `if ctx == nil` substitutes Background for an absent caller context
+// rather than discarding a live one. Deliberate detachment — e.g. the
+// serve daemon's session runs, which must outlive the HTTP request that
+// started them — carries a //c4vet:allow with the reason.
+var CtxLeak = &Analyzer{
+	Name: "ctxleak",
+	Doc:  "context.Background()/TODO() in code that already has a Context in scope",
+	Run:  runCtxLeak,
+}
+
+func runCtxLeak(pass *Pass) error {
+	walkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		f := funcObj(pass.TypesInfo, call.Fun)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "context" {
+			return
+		}
+		if f.Name() != "Background" && f.Name() != "TODO" {
+			return
+		}
+		source := ctxInScope(pass, stack)
+		if source == "" {
+			return
+		}
+		if isNilCtxFallback(pass, stack) {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() in a function that already has a Context (%s); derive from it so cancellation propagates, or //c4vet:allow ctxleak with the detach reason",
+			f.Name(), source)
+	})
+	return nil
+}
+
+// ctxInScope reports how the enclosing function stack can reach a live
+// Context: "" if it cannot, otherwise a description of the source.
+// Closures see their parents' parameters, so every enclosing function
+// literal and declaration is considered.
+func ctxInScope(pass *Pass, stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		var ft *ast.FuncType
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			ft = f.Type
+		case *ast.FuncLit:
+			ft = f.Type
+		default:
+			continue
+		}
+		for _, field := range ft.Params.List {
+			t := pass.TypesInfo.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if isContextType(t) {
+				return "param " + fieldName(field)
+			}
+			if isHTTPRequestPtr(t) {
+				return fieldName(field) + ".Context()"
+			}
+		}
+	}
+	return ""
+}
+
+// isNilCtxFallback reports whether the call sits inside an
+// `if <ctx> == nil { ... }` guard for a Context-typed variable.
+func isNilCtxFallback(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifst, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		bin, ok := ifst.Cond.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.EQL {
+			continue
+		}
+		x, y := bin.X, bin.Y
+		if isNilIdent(pass, x) {
+			x, y = y, x
+		}
+		if !isNilIdent(pass, y) {
+			continue
+		}
+		if id, ok := x.(*ast.Ident); ok && isContextType(pass.TypesInfo.TypeOf(id)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isNilIdent(pass *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+func fieldName(f *ast.Field) string {
+	if len(f.Names) > 0 {
+		return f.Names[0].Name
+	}
+	return "_"
+}

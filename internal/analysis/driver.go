@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunAnalyzers applies each analyzer to each package (packages must be
+// in dependency order, as Load returns them — the deprecated-use
+// analyzer accumulates declarations across packages), applies the
+// //c4vet:allow suppression layer, and returns the surviving findings
+// sorted by position. An error means an analyzer or the driver itself
+// failed, not that findings exist.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		all = append(all, applyDirectives(diags, collectDirectives(pkg, known))...)
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return all, nil
+}

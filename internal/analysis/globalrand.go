@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GlobalRand flags math/rand use outside internal/sim's seeded wrapper.
+// The process-global source (rand.Intn, rand.Float64, ...) is shared
+// mutable state: two goroutines — or two scenarios on the parallel
+// runner — interleave draws differently run to run, which is exactly the
+// process-global counter bug class fixed in PR 1. Constructing private
+// sources (rand.New, rand.NewSource) outside the wrapper is flagged too:
+// sim.Rand is where seeding, forking and the distribution helpers live,
+// and a bare rand.Rand bypasses the seed-derivation discipline that
+// makes replay byte-identical.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "math/rand use outside internal/sim's seeded sim.Rand wrapper",
+	Run:  runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) error {
+	if strings.HasSuffix(pass.Pkg.Path(), "internal/sim") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			f, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || f.Pkg() == nil {
+				return true
+			}
+			if p := f.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+				pass.Reportf(id.Pos(),
+					"math/rand method %s outside internal/sim; route randomness through sim.Rand so streams stay seeded and fork-isolated",
+					f.Name())
+			} else {
+				pass.Reportf(id.Pos(),
+					"math/rand.%s outside internal/sim draws from an unseeded or process-global source; use sim.NewRand / (*sim.Rand).Fork (replay invariant)",
+					f.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and type-checked package.
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string
+	Files []*ast.File
+	Fset  *token.FileSet
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader uses.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Error      *struct{ Err string }
+}
+
+// Load discovers the packages matching the patterns (relative to dir,
+// "./..." by default), parses their non-test Go files and type-checks
+// them in dependency order. Test files are not loaded: the invariants
+// c4vet guards are about simulation code, and `go vet` already covers
+// the test variants for the stock checks.
+//
+// Imports between loaded packages resolve to the loaded results; all
+// other imports (the standard library) are type-checked from source via
+// go/importer, which works offline. Cgo is disabled for that importer so
+// packages like net resolve to their pure-Go form.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	order, err := topoSort(listed)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	// The source importer reads build.Default; with cgo off, cgo-using
+	// stdlib packages fall back to their portable implementations,
+	// which is all type checking needs.
+	build.Default.CgoEnabled = false
+	base := importer.ForCompiler(fset, "source", nil)
+	imp := &moduleImporter{loaded: map[string]*types.Package{}, fallback: base}
+
+	var pkgs []*Package
+	for _, lp := range order {
+		files := make([]*ast.File, 0, len(lp.GoFiles))
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", filepath.Join(lp.Dir, name), err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := checkFiles(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", lp.ImportPath, err)
+		}
+		pkg.Dir = lp.Dir
+		pkg.Name = lp.Name
+		imp.loaded[lp.ImportPath] = pkg.Types
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkFiles type-checks one package's parsed files under the given
+// import path. The path is significant: path-gated analyzers (wallclock,
+// globalrand) key off it, which is also how test fixtures opt in.
+func checkFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%d type errors, first: %v", len(typeErrs), typeErrs[0])
+	}
+	return &Package{Path: path, Files: files, Fset: fset, Types: tpkg, Info: info}, nil
+}
+
+// FixtureFile is one in-memory source file for CheckFixtureFiles.
+type FixtureFile struct {
+	Name string
+	Src  string
+}
+
+// CheckFixtureFiles parses and type-checks in-memory fixture files as
+// one package under the given import path; the analysistest helper and
+// driver tests use it to build packages without a module on disk.
+// Imports resolve from source (stdlib only).
+func CheckFixtureFiles(fset *token.FileSet, path string, fixtures []FixtureFile) (*Package, error) {
+	return CheckFixtureFilesWithDeps(fset, path, fixtures, nil)
+}
+
+// CheckFixtureFilesWithDeps is CheckFixtureFiles with imports of the
+// given already-checked packages resolving to those results, so tests
+// can build multi-package fixtures (e.g. cross-package deprecation).
+func CheckFixtureFilesWithDeps(fset *token.FileSet, path string, fixtures []FixtureFile, deps []*Package) (*Package, error) {
+	var files []*ast.File
+	for _, fx := range fixtures {
+		f, err := parser.ParseFile(fset, fx.Name, fx.Src, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	build.Default.CgoEnabled = false
+	imp := &moduleImporter{loaded: map[string]*types.Package{}, fallback: importer.ForCompiler(fset, "source", nil)}
+	for _, d := range deps {
+		imp.loaded[d.Path] = d.Types
+	}
+	return checkFiles(fset, path, files, imp)
+}
+
+// moduleImporter resolves imports of already-loaded module packages and
+// falls back to the source importer for everything else.
+type moduleImporter struct {
+	loaded   map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p := m.loaded[path]; p != nil {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}
+
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkgs = append(pkgs, &lp)
+	}
+	return pkgs, nil
+}
+
+// topoSort orders packages dependencies-first, considering only edges
+// between listed packages (external edges resolve via the importer).
+// The traversal is alphabetical at every level, so the load order — and
+// therefore diagnostic order — is deterministic.
+func topoSort(pkgs []*listedPkg) ([]*listedPkg, error) {
+	byPath := make(map[string]*listedPkg, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	paths := make([]string, 0, len(pkgs))
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := map[string]int{}
+	var order []*listedPkg
+	var visit func(path string) error
+	visit = func(path string) error {
+		p := byPath[path]
+		if p == nil || state[path] == done {
+			return nil
+		}
+		if state[path] == visiting {
+			return fmt.Errorf("import cycle through %s", path)
+		}
+		state[path] = visiting
+		deps := append([]string(nil), p.Imports...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, p)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

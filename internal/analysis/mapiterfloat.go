@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIterFloat flags order-sensitive accumulation inside `range` over a
+// map. Go randomizes map iteration order per run, so any fold whose
+// result depends on visit order breaks byte-identical replay: float
+// addition and multiplication are not associative under rounding, string
+// concatenation is order-dependent, and an appended slice inherits the
+// iteration order unless it is sorted afterwards. This exact bug shipped
+// twice — c4d.AnalyzeDelayMatrix (PR 1) and
+// steering.Breakdown.DiagnosisTotal (PR 4) — each found by hand via a
+// replay mismatch.
+//
+// Deterministic folds are not flagged: integer accumulation (exact, so
+// commutative), writes keyed by the iteration key (each key visited
+// once), accumulators declared inside the loop body, and appends whose
+// target is sorted later in the same function.
+var MapIterFloat = &Analyzer{
+	Name: "mapiterfloat",
+	Doc:  "order-sensitive accumulation (float/string fold, unsorted append) inside range over a map",
+	Run:  runMapIterFloat,
+}
+
+func runMapIterFloat(pass *Pass) error {
+	walkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass, rs) {
+			return
+		}
+		enclosing := enclosingFuncBody(stack)
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			st, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			checkMapRangeAssign(pass, rs, enclosing, st)
+			return true
+		})
+	})
+	return nil
+}
+
+func isMapRange(pass *Pass, rs *ast.RangeStmt) bool {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkMapRangeAssign(pass *Pass, rs *ast.RangeStmt, enclosing ast.Node, st *ast.AssignStmt) {
+	switch st.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := st.Lhs[0]
+		if root := accumulatorRoot(pass, rs, lhs); root != nil {
+			switch {
+			case isFloat(pass.TypesInfo.TypeOf(lhs)):
+				pass.Reportf(st.Pos(),
+					"float %s on %q inside range over map folds in randomized iteration order; iterate sorted keys (replay invariant, cf. the c4d/steering map-order bugs)",
+					st.Tok, root.Name)
+			case st.Tok == token.ADD_ASSIGN && isString(pass.TypesInfo.TypeOf(lhs)):
+				pass.Reportf(st.Pos(),
+					"string += on %q inside range over map concatenates in randomized iteration order; iterate sorted keys",
+					root.Name)
+			}
+		}
+	case token.ASSIGN:
+		for i, lhs := range st.Lhs {
+			if i >= len(st.Rhs) {
+				break
+			}
+			checkMapRangePlainAssign(pass, rs, enclosing, st, lhs, st.Rhs[i])
+		}
+	}
+}
+
+// checkMapRangePlainAssign handles the `x = x + v` spelling of a fold
+// and `x = append(x, ...)`.
+func checkMapRangePlainAssign(pass *Pass, rs *ast.RangeStmt, enclosing ast.Node, st *ast.AssignStmt, lhs, rhs ast.Expr) {
+	root := accumulatorRoot(pass, rs, lhs)
+	if root == nil {
+		return
+	}
+	obj := pass.TypesInfo.ObjectOf(root)
+
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if _, builtin := pass.TypesInfo.Uses[id].(*types.Builtin); !builtin {
+				return
+			}
+			if sortedAfter(pass, enclosing, rs, obj) {
+				return
+			}
+			pass.Reportf(st.Pos(),
+				"append to %q inside range over map builds a slice in randomized iteration order and it is never sorted afterwards; sort it or iterate sorted keys",
+				root.Name)
+			return
+		}
+	}
+
+	if bin, ok := rhs.(*ast.BinaryExpr); ok {
+		if bin.Op != token.ADD && bin.Op != token.MUL && bin.Op != token.SUB && bin.Op != token.QUO {
+			return
+		}
+		if !refersTo(pass, bin.X, obj) && !refersTo(pass, bin.Y, obj) {
+			return
+		}
+		switch {
+		case isFloat(pass.TypesInfo.TypeOf(lhs)):
+			pass.Reportf(st.Pos(),
+				"float %s = %s %s ... inside range over map folds in randomized iteration order; iterate sorted keys",
+				root.Name, root.Name, bin.Op)
+		case bin.Op == token.ADD && isString(pass.TypesInfo.TypeOf(lhs)):
+			pass.Reportf(st.Pos(),
+				"string %s = %s + ... inside range over map concatenates in randomized iteration order; iterate sorted keys",
+				root.Name, root.Name)
+		}
+	}
+}
+
+// accumulatorRoot returns the base identifier of lhs when it names an
+// order-sensitive accumulator: declared outside the range statement and
+// not a per-key write (an index expression keyed by the loop's own key
+// variable touches each element once, so order cannot matter).
+func accumulatorRoot(pass *Pass, rs *ast.RangeStmt, lhs ast.Expr) *ast.Ident {
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		if id, ok := ix.Index.(*ast.Ident); ok {
+			if key, ok := rs.Key.(*ast.Ident); ok &&
+				pass.TypesInfo.ObjectOf(id) == pass.TypesInfo.ObjectOf(key) &&
+				pass.TypesInfo.ObjectOf(id) != nil {
+				return nil
+			}
+		}
+	}
+	root := rootIdent(lhs)
+	if root == nil || root.Name == "_" {
+		return nil
+	}
+	obj := pass.TypesInfo.ObjectOf(root)
+	if obj == nil {
+		return nil
+	}
+	if rs.Pos() <= obj.Pos() && obj.Pos() < rs.End() {
+		return nil // declared inside the loop: reset every iteration
+	}
+	return root
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort*
+// call after the range statement within the same enclosing function — in
+// which case the iteration-ordered append is made deterministic before
+// anyone observes it.
+func sortedAfter(pass *Pass, enclosing ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	if enclosing == nil || obj == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || sorted {
+			return !sorted
+		}
+		f := funcObj(pass.TypesInfo, call.Fun)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		pkg := f.Pkg().Path()
+		if pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && pass.TypesInfo.ObjectOf(root) == obj {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// refersTo reports whether e's base identifier resolves to obj.
+func refersTo(pass *Pass, e ast.Expr, obj types.Object) bool {
+	root := rootIdent(e)
+	return root != nil && obj != nil && pass.TypesInfo.ObjectOf(root) == obj
+}
+
+// enclosingFuncBody returns the body of the innermost function literal
+// or declaration in the stack, or nil at package scope.
+func enclosingFuncBody(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if n, okn := t.(*types.Named); okn {
+			b, ok = n.Underlying().(*types.Basic)
+		}
+	}
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if n, okn := t.(*types.Named); okn {
+			b, ok = n.Underlying().(*types.Basic)
+		}
+	}
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// sinkErrMethods are the telemetry-plumbing method shapes whose error
+// results must not be dropped: a swallowed error here silently truncates
+// a record stream that downstream triage assumes is complete. This is
+// the PR 7 StreamWriter bug — its encoder errors vanished and replay
+// diverged from the live run with no signal.
+var sinkErrMethods = map[string]bool{
+	"Flush":        true,
+	"EncodeRecord": true,
+	"Sink":         true,
+}
+
+// SinkErr flags statements that discard the error result of a
+// Flush/EncodeRecord/Sink-shaped call: a bare call statement, defer, go,
+// or an assignment to blanks only. Methods that return no error (e.g.
+// csv.Writer.Flush, http.Flusher.Flush) are not flagged.
+var SinkErr = &Analyzer{
+	Name: "sinkerr",
+	Doc:  "discarded error results from Flush/EncodeRecord/Sink-shaped telemetry methods",
+	Run:  runSinkErr,
+}
+
+func runSinkErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = st.Call
+			case *ast.GoStmt:
+				call = st.Call
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 && allBlank(st.Lhs) {
+					call, _ = st.Rhs[0].(*ast.CallExpr)
+				}
+			}
+			if call == nil {
+				return true
+			}
+			f := funcObj(pass.TypesInfo, call.Fun)
+			if f == nil || !sinkErrMethods[f.Name()] {
+				return true
+			}
+			sig, ok := f.Type().(*types.Signature)
+			if !ok || sig.Results().Len() == 0 {
+				return true
+			}
+			if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error result of %s discarded; a dropped telemetry error silently truncates the stream — check it or sticky-propagate (PR 7 StreamWriter bug)",
+				qualifiedName(f))
+			return true
+		})
+	}
+	return nil
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(exprs) > 0
+}
+
+// qualifiedName renders receiver.Method or pkg.Func for diagnostics.
+func qualifiedName(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return types.TypeString(sig.Recv().Type(), types.RelativeTo(f.Pkg())) + "." + f.Name()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}

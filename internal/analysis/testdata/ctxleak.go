@@ -1,0 +1,33 @@
+package fixture
+
+import (
+	"context"
+	"net/http"
+)
+
+func hasCtx(ctx context.Context) {
+	_ = context.Background() // want `context.Background\(\) in a function that already has a Context \(param ctx\)`
+	_ = context.TODO()       // want `context.TODO\(\) in a function that already has a Context \(param ctx\)`
+	if ctx == nil {
+		ctx = context.Background() // nil-default idiom: no finding
+	}
+	_ = ctx
+}
+
+func hasReq(w http.ResponseWriter, r *http.Request) {
+	//c4vet:allow ctxleak fixture: documents the suppression path
+	_ = context.Background()
+	_ = context.TODO() // want `already has a Context \(r.Context\(\)\)`
+	_ = w
+	_ = r
+}
+
+func noCtx() context.Context {
+	return context.Background() // nothing in scope: no finding
+}
+
+func closure(ctx context.Context) func() {
+	return func() {
+		_ = context.Background() // want `already has a Context \(param ctx\)`
+	}
+}

@@ -1,0 +1,35 @@
+package fixture
+
+// NewThing builds a Thing.
+//
+// Deprecated: use OpenThing.
+func NewThing() int { return 0 }
+
+// OldDefault is the legacy calibration.
+//
+// Deprecated: use Default.
+const OldDefault = 1
+
+// Legacy is the old option struct.
+//
+// Deprecated: use Options.
+type Legacy struct{}
+
+// NewLegacyThing chains deprecated APIs; calls between retired
+// declarations are fine until they are deleted together.
+//
+// Deprecated: use OpenThing.
+func NewLegacyThing() int { return NewThing() }
+
+// OpenThing is the supported constructor.
+func OpenThing() int { return 0 }
+
+func caller() int {
+	v := NewThing() // want `use of deprecated NewThing: use OpenThing.`
+	v += OldDefault // want `use of deprecated OldDefault: use Default.`
+	var l Legacy    // want `use of deprecated Legacy: use Options.`
+	_ = l
+	//c4vet:allow deprecated fixture: documents the suppression path
+	v += NewThing()
+	return v + OpenThing()
+}

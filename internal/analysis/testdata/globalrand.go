@@ -1,0 +1,13 @@
+package fixture
+
+import "math/rand"
+
+func draws() float64 {
+	x := rand.Float64()              // want `math/rand.Float64 outside internal/sim`
+	n := rand.Intn(10)               // want `math/rand.Intn outside internal/sim`
+	r := rand.New(rand.NewSource(1)) // want `math/rand.New outside internal/sim` `math/rand.NewSource outside internal/sim`
+	y := r.Float64()                 // want `math/rand method Float64 outside internal/sim`
+	//c4vet:allow globalrand fixture: documents the suppression path
+	z := rand.Float64()
+	return x + float64(n) + y + z
+}

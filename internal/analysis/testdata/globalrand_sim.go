@@ -1,0 +1,10 @@
+package fixture
+
+import "math/rand"
+
+// Checked under the internal/sim import path: this is the seeded
+// wrapper's home, where constructing rand sources is the whole point.
+
+func newSource(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,81 @@
+package fixture
+
+import "sort"
+
+func folds(m map[string]float64) (float64, int) {
+	var sum float64
+	var n int
+	for _, v := range m {
+		sum += v // want `float \+= on "sum" inside range over map`
+		n++      // int accumulation is exact and commutative: no finding
+	}
+	for _, v := range m {
+		sum = sum + v // want `float sum = sum \+ ... inside range over map`
+	}
+	for _, v := range m {
+		scaled := v * 2 // declared inside the loop: no finding
+		_ = scaled
+	}
+	total := 0.0
+	for _, v := range m {
+		//c4vet:allow mapiterfloat fixture: documents the suppression path
+		total += v
+	}
+	return sum + total, n
+}
+
+func product(m map[string]float64) float64 {
+	acc := 1.0
+	for _, v := range m {
+		acc *= v // want `float \*= on "acc" inside range over map`
+	}
+	return acc
+}
+
+func concat(m map[string]string) string {
+	var s string
+	for _, v := range m {
+		s += v // want `string \+= on "s" inside range over map`
+	}
+	return s
+}
+
+func appends(m map[string]int) ([]string, []string) {
+	var unsorted []string
+	for k := range m {
+		unsorted = append(unsorted, k) // want `append to "unsorted" inside range over map`
+	}
+	var sortedLater []string
+	for k := range m {
+		sortedLater = append(sortedLater, k) // sorted below: no finding
+	}
+	sort.Strings(sortedLater)
+	return unsorted, sortedLater
+}
+
+func perKey(src map[int]float64, dst map[int]float64) {
+	for k, v := range src {
+		dst[k] += v // keyed by the loop key, each visited once: no finding
+	}
+	for k, v := range src {
+		dst[k/2] += v // want `float \+= on "dst" inside range over map`
+	}
+}
+
+type agg struct{ total float64 }
+
+func fields(m map[string]float64) agg {
+	var a agg
+	for _, v := range m {
+		a.total += v // want `float \+= on "a" inside range over map`
+	}
+	return a
+}
+
+func sliceRange(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // slices iterate in index order: no finding
+	}
+	return sum
+}

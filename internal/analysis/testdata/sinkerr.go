@@ -1,0 +1,23 @@
+package fixture
+
+type writer struct{}
+
+func (writer) Flush() error        { return nil }
+func (writer) EncodeRecord() error { return nil }
+func (writer) Sink() error         { return nil }
+
+type voidFlusher struct{}
+
+func (voidFlusher) Flush() {}
+
+func discards(w writer, v voidFlusher) error {
+	w.Flush()            // want `error result of writer.Flush discarded`
+	_ = w.EncodeRecord() // want `error result of writer.EncodeRecord discarded`
+	defer w.Sink()       // want `error result of writer.Sink discarded`
+	go w.Flush()         // want `error result of writer.Flush discarded`
+	v.Flush()            // returns no error: no finding
+	//c4vet:allow sinkerr fixture: documents the suppression path
+	w.Flush()
+	err := w.Flush() // checked: no finding
+	return err
+}

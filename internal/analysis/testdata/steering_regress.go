@@ -1,0 +1,20 @@
+package fixture
+
+// The pre-PR 4 shape of steering.Breakdown.DiagnosisTotal, verbatim but
+// for names: a float fold over the Diagnosis map in iteration order. Its
+// result lands in the bench baseline, which must regenerate
+// byte-identically — reintroducing this shape must fail `make lint`.
+
+type faultKind int
+
+type breakdown struct {
+	Diagnosis map[faultKind]float64
+}
+
+func (b breakdown) diagnosisTotal() float64 {
+	var s float64
+	for _, v := range b.Diagnosis {
+		s += v // want `float \+= on "s" inside range over map`
+	}
+	return s
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import "time"
+
+func clocks() time.Duration {
+	start := time.Now()              // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond)     // want `time.Sleep reads the wall clock`
+	t := time.NewTicker(time.Second) // want `time.NewTicker reads the wall clock`
+	t.Stop()
+	d := time.Since(start) // want `time.Since reads the wall clock`
+	//c4vet:allow wallclock fixture: documents the suppression path
+	_ = time.Now()
+	_ = time.Time{} // type reference, not a clock read: no finding
+	return d
+}

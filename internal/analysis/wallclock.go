@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallClockFuncs are the package time entry points that read or schedule
+// against the host's wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+	"After": true, "AfterFunc": true,
+}
+
+// WallClock flags wall-clock access inside internal/* simulation
+// packages, where the only legal clock is sim.Engine virtual time: a
+// wall-clock read threads host timing into simulation state and breaks
+// byte-identical replay. Command packages (cmd/*) and the public facade
+// are exempt — reporting real elapsed time at the edge is fine — and the
+// one intentional in-simulation use, scenario.Runner's wall-time report,
+// carries a //c4vet:allow with its reason.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "time.Now/Since/Sleep/Ticker use inside internal simulation packages, where only sim.Engine time is deterministic",
+	Run:  runWallClock,
+}
+
+func runWallClock(pass *Pass) error {
+	if !isInternalPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := funcObj(pass.TypesInfo, sel)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "time" || !wallClockFuncs[f.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s reads the wall clock inside a simulation package; use sim.Engine virtual time (replay invariant)",
+				f.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isInternalPkg reports whether the import path lies under an internal/
+// tree — the simulation core, as opposed to cmd/* entry points.
+func isInternalPkg(path string) bool {
+	return strings.HasPrefix(path, "internal/") || strings.Contains(path, "/internal/")
+}

@@ -36,6 +36,7 @@ func AnalyzeDelayMatrix(bw map[[2]int]float64, kappa, rowColFrac float64) []Matr
 	// handful of broken cells cannot drag the baseline down.
 	all := make([]float64, 0, len(bw))
 	for _, v := range bw {
+		//c4vet:allow mapiterfloat consumed only by Median, which copies and sorts; any permutation yields the same value
 		all = append(all, v)
 	}
 	med := metrics.Median(all)

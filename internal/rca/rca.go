@@ -199,11 +199,20 @@ func (a *Analyzer) Classify(ev c4d.Event) Report {
 		hits[t.Kind]++
 	}
 	prior := syndromePrior(ev.Syndrome)
+	// Fold the normalizer over sorted kinds: float addition is not
+	// associative under rounding, so accumulating in randomized map
+	// order would make Confidence differ in the last ulp between
+	// replays of the same run (the c4d/steering map-order bug class).
+	kinds := make([]cluster.FaultKind, 0, len(prior))
+	for kind := range prior {
+		kinds = append(kinds, kind)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
 	var causes []Cause
 	var total float64
-	for kind, p := range prior {
+	for _, kind := range kinds {
 		mult, evidence := likelihood(kind, hits)
-		score := p * mult
+		score := prior[kind] * mult
 		causes = append(causes, Cause{Kind: kind, Confidence: score, Evidence: evidence})
 		total += score
 	}

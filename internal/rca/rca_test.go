@@ -149,3 +149,33 @@ func TestReportRendering(t *testing.T) {
 		}
 	}
 }
+
+// TestClassifyReplayIdentical pins the determinism fix found by c4vet's
+// mapiterfloat analyzer: Classify used to fold its normalizer over a map
+// in randomized iteration order, so Confidence values could differ in
+// the last ulp between replays of the same inputs (float addition is not
+// associative under rounding). Equal inputs must yield bit-identical
+// reports, run after run.
+func TestClassifyReplayIdentical(t *testing.T) {
+	classify := func() Report {
+		a := NewAnalyzer(0)
+		a.Observe(Telemetry{Time: 9 * sim.Minute, Kind: TelemetryECCCount, Node: 4})
+		a.Observe(Telemetry{Time: 9 * sim.Minute, Kind: TelemetryThermal, Node: 4})
+		a.Observe(Telemetry{Time: 9 * sim.Minute, Kind: TelemetryLinkFlap, Node: -1})
+		return a.Classify(hangEvent(4))
+	}
+	want := classify()
+	for i := 0; i < 100; i++ {
+		got := classify()
+		if len(got.Causes) != len(want.Causes) {
+			t.Fatalf("run %d: %d causes, want %d", i, len(got.Causes), len(want.Causes))
+		}
+		for j := range got.Causes {
+			g, w := got.Causes[j], want.Causes[j]
+			if g.Kind != w.Kind || g.Confidence != w.Confidence {
+				t.Fatalf("run %d cause %d: (%v, %v) != (%v, %v): map-order float fold is back",
+					i, j, g.Kind, g.Confidence, w.Kind, w.Confidence)
+			}
+		}
+	}
+}

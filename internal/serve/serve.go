@@ -293,8 +293,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if s.cfg.RunTimeout > 0 {
+		//c4vet:allow ctxleak session runs deliberately outlive the POST that starts them; DELETE and Shutdown cancel via e.cancel
 		ctx, cancel = context.WithTimeout(context.Background(), s.cfg.RunTimeout)
 	} else {
+		//c4vet:allow ctxleak same detach as above for the no-timeout configuration
 		ctx, cancel = context.WithCancel(context.Background())
 	}
 	e.state = StateRunning
