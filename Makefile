@@ -11,8 +11,8 @@ GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
 .PHONY: all build vet c4vet lint fmt-check test test-race kernel-race \
-	tenancy-smoke telemetry-smoke plan-smoke serve-smoke docker ci bench \
-	experiments bench-json bench-baseline bench-check cover clean
+	tenancy-smoke telemetry-smoke plan-smoke serve-smoke trace-smoke docker \
+	ci bench experiments bench-json bench-baseline bench-check cover clean
 
 all: ci
 
@@ -84,11 +84,22 @@ plan-smoke:
 serve-smoke:
 	$(GO) run ./cmd/c4serve -smoke
 
+# The tracing e2e: run a short planned session with -trace-out, then
+# validate the exported Chrome trace with c4trace -check (parses, has
+# spans, yields a critical path from every iteration root). Proves the
+# c4sim flag, the session tracer wiring, the exporter and the parser
+# against each other on every CI push.
+trace-smoke:
+	$(GO) run ./cmd/c4sim -plan tp8/pp2/dp2/ga2 -plan-iters 2 -trace-out TRACE_smoke.json > /dev/null
+	$(GO) run ./cmd/c4trace -check TRACE_smoke.json
+	$(GO) run ./cmd/c4trace TRACE_smoke.json > /dev/null
+	@rm -f TRACE_smoke.json
+
 # Container image for the daemon (requires docker; CI runs it on push).
 docker:
 	docker build -t c4serve:$(SHA) .
 
-ci: lint build test test-race kernel-race tenancy-smoke telemetry-smoke plan-smoke serve-smoke
+ci: lint build test test-race kernel-race tenancy-smoke telemetry-smoke plan-smoke serve-smoke trace-smoke
 
 # Microbenchmarks, including the incremental-vs-full-recompute pair
 # (internal/telemetry: BenchmarkIncrementalObserve vs
@@ -129,4 +140,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f cover.out BENCH_*.json
+	rm -f cover.out BENCH_*.json TRACE_smoke.json

@@ -38,6 +38,7 @@ package c4
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"c4/internal/accl"
 	"c4/internal/c4d"
@@ -54,6 +55,7 @@ import (
 	"c4/internal/sim"
 	"c4/internal/steering"
 	"c4/internal/topo"
+	"c4/internal/trace"
 	"c4/internal/workload"
 )
 
@@ -330,6 +332,40 @@ func NewRCAnalyzer(window Time) *RCAnalyzer { return rca.NewAnalyzer(window) }
 
 // NewScheduler creates a topology-aware scheduler over the fabric.
 func NewScheduler(t *Topology) *Scheduler { return sched.New(t) }
+
+// Sim-time causal tracing (internal/trace): a deterministic span recorder
+// across every simulation layer, exported as Chrome trace-event JSON
+// (open in Perfetto) or reduced to critical-path profiles by cmd/c4trace.
+type (
+	// Tracer records sim-time spans; attach one to a Session with
+	// AttachTracer, then export its Spans after Run.
+	Tracer = trace.Tracer
+	// TraceSpan is one recorded interval (or instant event).
+	TraceSpan = trace.Span
+	// TraceProfileRow is one kind's aggregate in a trace profile.
+	TraceProfileRow = trace.ProfileRow
+	// TracePathSeg is one segment of an extracted critical path.
+	TracePathSeg = trace.PathSeg
+)
+
+// NewTracer creates an unbound tracer; Session.Run binds it to the run's
+// engine so span IDs draw from the engine's own deterministic sequence.
+func NewTracer() *Tracer { return trace.New() }
+
+// WriteTrace exports spans as Chrome trace-event JSON.
+func WriteTrace(w io.Writer, spans []*TraceSpan) error { return trace.WriteChrome(w, spans) }
+
+// ReadTrace parses a trace previously written by WriteTrace.
+func ReadTrace(r io.Reader) ([]*TraceSpan, error) { return trace.ParseChrome(r) }
+
+// TraceProfile aggregates spans into per-kind self/total times.
+func TraceProfile(spans []*TraceSpan) []TraceProfileRow { return trace.Profile(spans) }
+
+// TraceCriticalPath extracts the chain of spans that determines root's
+// duration.
+func TraceCriticalPath(spans []*TraceSpan, root *TraceSpan) []TracePathSeg {
+	return trace.CriticalPath(spans, root)
+}
 
 // Experiment harness: one runner per paper table/figure. Each result has
 // String() and CheckShape().

@@ -47,6 +47,8 @@ func main() {
 		runTimeout = flag.Duration("run-timeout", 0, "per-session run timeout (0 = none)")
 		streamMiB  = flag.Int("stream-limit-mib", 64, "per-session telemetry retention in MiB")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "grace for in-flight runs on shutdown")
+		opsAddr    = flag.String("ops", "", "also serve the operational plane (pprof + /metrics) on this address, e.g. 127.0.0.1:6060")
+		quiet      = flag.Bool("quiet", false, "suppress per-request access logs")
 		smoke      = flag.Bool("smoke", false, "self-test: serve on loopback, drive one session over HTTP+SSE, diff against a one-shot run, exit")
 	)
 	flag.Parse()
@@ -62,9 +64,23 @@ func main() {
 	}
 
 	srv := serve.New(cfg)
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := http.Handler(srv.Handler())
+	if !*quiet {
+		handler = serve.AccessLog(os.Stderr, handler)
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
+	if *opsAddr != "" {
+		ops := &http.Server{Addr: *opsAddr, Handler: srv.OpsHandler()}
+		go func() {
+			if err := ops.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("c4serve: ops plane: %v", err)
+			}
+		}()
+		defer ops.Shutdown(context.Background())
+		log.Printf("c4serve ops plane (pprof, /metrics) on %s", *opsAddr)
+	}
 	log.Printf("c4serve listening on %s (sessions %d, running %d)", *addr, *maxSess, *maxRun)
 
 	sigc := make(chan os.Signal, 1)

@@ -56,6 +56,7 @@ func main() {
 		cmpJSON   = flag.String("campaign-json", "", "with -campaign: also write one <name>.json report per campaign into this directory")
 		workers   = flag.Int("workers", 0, "concurrent scenarios with -scenario (0 = GOMAXPROCS)")
 		telemOut  = flag.String("telemetry-out", "", "write the run's telemetry stream as JSONL to this file (replay offline with c4watch)")
+		traceOut  = flag.String("trace-out", "", "write the run's causal trace as Chrome trace-event JSON to this file (open in Perfetto, summarize with c4trace)")
 		online    = flag.Bool("online", false, "attach the streaming online detector and log its detections live")
 		tenTrace  = flag.String("tenancy-trace", "", "replay a multi-tenant JSON arrival trace on a shared fabric (see README for the format)")
 		tenPolicy = flag.String("tenancy-policy", "packed", "with -tenancy-trace: placement policy: packed | spread | random")
@@ -81,7 +82,7 @@ func main() {
 		os.Exit(runTenancy(*tenTrace, *tenPolicy, *provider, *tenSpines, *horizon, *seed))
 	}
 	if *planStr != "" {
-		os.Exit(runPlan(*planStr, *jobName, *provider, *planBkt, *planOvl, *planIters, *seed))
+		os.Exit(runPlan(*planStr, *jobName, *provider, *planBkt, *planOvl, *planIters, *seed, *traceOut))
 	}
 
 	spec := c4.SessionSpec{
@@ -98,13 +99,14 @@ func main() {
 			Online:    *online,
 		},
 	}
-	os.Exit(runSession(spec, *telemOut))
+	os.Exit(runSession(spec, *telemOut, *traceOut))
 }
 
 // runSession executes one job/plan-mode session spec, optionally exporting
-// its telemetry stream as JSONL — the CLI face of the shared session API.
-// Spec errors exit 2 (bad flags), runtime errors exit 1.
-func runSession(spec c4.SessionSpec, telemOut string) int {
+// its telemetry stream as JSONL and its causal trace as Chrome JSON — the
+// CLI face of the shared session API. Spec errors exit 2 (bad flags),
+// runtime errors exit 1.
+func runSession(spec c4.SessionSpec, telemOut, traceOut string) int {
 	sess, err := c4.NewSession(c4.SessionOptions{Spec: spec, Log: os.Stdout})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
@@ -123,6 +125,11 @@ func runSession(spec c4.SessionSpec, telemOut string) int {
 		streamW = c4.NewTelemetryStreamWriter(f)
 		sess.AttachSink(streamW)
 	}
+	var tracer *c4.Tracer
+	if traceOut != "" {
+		tracer = c4.NewTracer()
+		sess.AttachTracer(tracer)
+	}
 	if err := sess.Run(context.Background()); err != nil {
 		fmt.Fprintf(os.Stderr, "c4sim: %v\n", err)
 		return 1
@@ -135,7 +142,27 @@ func runSession(spec c4.SessionSpec, telemOut string) int {
 		streamFile.Close()
 		fmt.Printf("telemetry: %d records written to %s\n", streamW.Written(), telemOut)
 	}
+	if tracer != nil {
+		if err := writeTraceFile(traceOut, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "c4sim: writing trace: %v\n", err)
+			return 1
+		}
+		fmt.Printf("trace: %d spans written to %s\n", len(tracer.Spans()), traceOut)
+	}
 	return 0
+}
+
+// writeTraceFile exports the tracer's spans as Chrome trace-event JSON.
+func writeTraceFile(path string, tracer *c4.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c4.WriteTrace(f, tracer.Spans()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runCampaigns executes fault-injection campaigns through the registry
@@ -221,7 +248,7 @@ func runTenancy(path, policy, provider string, spines int, horizon time.Duration
 // plan, executes it on the 16-node testbed under the chosen provider, and
 // prints the compiled schedule plus the measured iteration breakdown —
 // the single-job window into what the plan/* scenario family sweeps.
-func runPlan(strategy, modelName, provider string, bucketMiB float64, overlap bool, iters int, seed int64) int {
+func runPlan(strategy, modelName, provider string, bucketMiB float64, overlap bool, iters int, seed int64, traceOut string) int {
 	return runSession(c4.SessionSpec{
 		Seed: seed,
 		Job: &c4.SessionJob{
@@ -232,7 +259,7 @@ func runPlan(strategy, modelName, provider string, bucketMiB float64, overlap bo
 			PlanOverlap:   overlap,
 			PlanIters:     iters,
 		},
-	}, "")
+	}, "", traceOut)
 }
 
 // runScenarios executes a registry selection on the worker-pool runner and

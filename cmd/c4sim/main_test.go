@@ -75,22 +75,22 @@ func TestRunTenancyBadInputs(t *testing.T) {
 }
 
 func TestRunPlanSmoke(t *testing.T) {
-	if code := runPlan("tp8/pp2/dp2/ga2", "gpt22b", "c4p", 0, false, 2, 1); code != 0 {
+	if code := runPlan("tp8/pp2/dp2/ga2", "gpt22b", "c4p", 0, false, 2, 1, ""); code != 0 {
 		t.Fatalf("runPlan = %d, want 0", code)
 	}
 }
 
 func TestRunPlanBadInputs(t *testing.T) {
-	if code := runPlan("qp4", "gpt22b", "c4p", 0, false, 1, 1); code != 2 {
+	if code := runPlan("qp4", "gpt22b", "c4p", 0, false, 1, 1, ""); code != 2 {
 		t.Fatalf("bad strategy: code %d, want 2", code)
 	}
-	if code := runPlan("tp8/dp2", "gpt9000", "c4p", 0, false, 1, 1); code != 2 {
+	if code := runPlan("tp8/dp2", "gpt9000", "c4p", 0, false, 1, 1, ""); code != 2 {
 		t.Fatalf("bad model: code %d, want 2", code)
 	}
-	if code := runPlan("pp8/dp8", "gpt22b", "c4p", 0, false, 1, 1); code != 2 {
+	if code := runPlan("pp8/dp8", "gpt22b", "c4p", 0, false, 1, 1, ""); code != 2 {
 		t.Fatalf("oversized world: code %d, want 2", code)
 	}
-	if code := runPlan("tp8/dp2", "gpt22b", "smoke-signals", 0, false, 1, 1); code != 2 {
+	if code := runPlan("tp8/dp2", "gpt22b", "smoke-signals", 0, false, 1, 1, ""); code != 2 {
 		t.Fatalf("bad provider: code %d, want 2", code)
 	}
 }

@@ -1,0 +1,226 @@
+// Command c4trace summarizes and compares causal traces recorded by
+// `c4sim -trace-out` (or any c4.Session with an attached tracer). It
+// answers the two questions a trace exists for — "where did the
+// simulated time go" and "what chain of spans determined the iteration
+// time" — without leaving the terminal, and diffs two traces to
+// attribute a goodput delta to named spans on the critical path.
+//
+//	c4trace run.trace.json                 # profile + per-iteration critical paths
+//	c4trace -iter 3 run.trace.json         # critical-path detail for iteration 3
+//	c4trace -diff ecmp.json c4p.json       # what changed between two arms
+//	c4trace -check run.trace.json          # exit 0 iff the trace is well-formed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"c4/internal/sim"
+	"c4/internal/trace"
+)
+
+func main() {
+	var (
+		diff  = flag.Bool("diff", false, "compare two traces: attribute the iteration-time delta to named critical-path spans")
+		check = flag.Bool("check", false, "validate the trace (parses, has spans, critical path extracts) and exit")
+		iter  = flag.Int("iter", -1, "iteration to detail (-1 = last finished)")
+		top   = flag.Int("top", 8, "rows to print per table")
+	)
+	flag.Parse()
+	args := flag.Args()
+
+	switch {
+	case *diff:
+		if len(args) != 2 {
+			fatalf("usage: c4trace -diff a.trace.json b.trace.json")
+		}
+		os.Exit(runDiff(args[0], args[1], *top))
+	case *check:
+		if len(args) != 1 {
+			fatalf("usage: c4trace -check trace.json")
+		}
+		os.Exit(runCheck(args[0]))
+	default:
+		if len(args) != 1 {
+			fatalf("usage: c4trace [-iter N] [-top N] trace.json")
+		}
+		os.Exit(runSummary(args[0], *iter, *top))
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "c4trace: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func load(path string) []*trace.Span {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+	spans, err := trace.ParseChrome(f)
+	if err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	return spans
+}
+
+// roots returns the spans to extract critical paths from: the recorded
+// iterations, or — for traces without an iteration layer — every
+// top-level span.
+func roots(spans []*trace.Span) []*trace.Span {
+	if iters := trace.ByKind(spans, "iter"); len(iters) > 0 {
+		return iters
+	}
+	var out []*trace.Span
+	for _, s := range spans {
+		if s.Parent == 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runSummary prints the per-kind profile, one line per iteration naming
+// the dominant critical-path contributor, and the full path breakdown of
+// the selected iteration.
+func runSummary(path string, iterSel, top int) int {
+	spans := load(path)
+	horizon := trace.Horizon(spans)
+	fmt.Printf("%s: %d spans, horizon %v\n\n", path, len(spans), horizon)
+
+	fmt.Println("where the simulated time went (self = not covered by children):")
+	fmt.Printf("  %-8s %6s %14s %14s\n", "kind", "count", "total", "self")
+	for i, r := range trace.Profile(spans) {
+		if i >= top {
+			break
+		}
+		fmt.Printf("  %-8s %6d %14v %14v\n", r.Kind, r.Count, r.Total, r.Self)
+	}
+
+	rs := roots(spans)
+	if len(rs) == 0 {
+		fmt.Println("\nno iterations or top-level spans recorded")
+		return 0
+	}
+	fmt.Printf("\ncritical paths (%d roots):\n", len(rs))
+	var detail *trace.Span
+	for i, root := range rs {
+		segs := trace.CriticalPath(spans, root)
+		rows := trace.PathProfile(segs)
+		lead := "-"
+		if len(rows) > 0 {
+			lead = fmt.Sprintf("%2.0f%% %s %s", rows[0].Share*100, rows[0].Kind, rows[0].Name)
+		}
+		fmt.Printf("  %-12s %12v  dominated by %s\n", root.Name, root.Dur(horizon), lead)
+		if iterSel == i || (iterSel < 0 && root.End >= 0) {
+			detail = root
+		}
+	}
+	if detail == nil {
+		detail = rs[len(rs)-1]
+	}
+
+	segs := trace.CriticalPath(spans, detail)
+	fmt.Printf("\ncritical path of %s (%v):\n", detail.Name, detail.Dur(horizon))
+	fmt.Printf("  %-8s %-24s %14s %7s\n", "kind", "name", "self", "share")
+	for i, r := range trace.PathProfile(segs) {
+		if i >= top {
+			break
+		}
+		fmt.Printf("  %-8s %-24s %14v %6.1f%%\n", r.Kind, r.Name, r.Self, r.Share*100)
+	}
+	return 0
+}
+
+// pathTotals sums critical-path self time by (kind, name) across every
+// root, so two arms of an experiment can be joined identity-by-identity.
+func pathTotals(spans []*trace.Span) (map[string]sim.Time, sim.Time) {
+	totals := map[string]sim.Time{}
+	var whole sim.Time
+	for _, root := range roots(spans) {
+		for _, r := range trace.PathProfile(trace.CriticalPath(spans, root)) {
+			totals[r.Kind+" "+r.Name] += r.Self
+			whole += r.Self
+		}
+	}
+	return totals, whole
+}
+
+// runDiff attributes the end-to-end time delta between two traces (for
+// example the ECMP and C4P arms of a plan sweep) to named spans on the
+// critical path, sorted by how much they moved.
+func runDiff(pathA, pathB string, top int) int {
+	sa, sb := load(pathA), load(pathB)
+	ta, wa := pathTotals(sa)
+	tb, wb := pathTotals(sb)
+
+	fmt.Printf("critical-path time: %v (%s) vs %v (%s), delta %v\n\n",
+		wa, pathA, wb, pathB, wb-wa)
+
+	keys := map[string]bool{}
+	for k := range ta {
+		keys[k] = true
+	}
+	for k := range tb {
+		keys[k] = true
+	}
+	type row struct {
+		key   string
+		a, b  sim.Time
+		delta sim.Time
+	}
+	var rows []row
+	for k := range keys {
+		r := row{key: k, a: ta[k], b: tb[k]}
+		r.delta = r.b - r.a
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := rows[i].delta, rows[j].delta
+		if di < 0 {
+			di = -di
+		}
+		if dj < 0 {
+			dj = -dj
+		}
+		if di != dj {
+			return di > dj
+		}
+		return rows[i].key < rows[j].key
+	})
+	fmt.Printf("  %-34s %14s %14s %14s\n", "span (kind name)", pathA, pathB, "delta")
+	for i, r := range rows {
+		if i >= top {
+			break
+		}
+		fmt.Printf("  %-34s %14v %14v %+14v\n", r.key, r.a, r.b, r.delta)
+	}
+	return 0
+}
+
+// runCheck is the CI smoke gate: the trace must parse, contain spans,
+// and yield a non-empty critical path from at least one root.
+func runCheck(path string) int {
+	spans := load(path)
+	if len(spans) == 0 {
+		fmt.Fprintf(os.Stderr, "c4trace: %s: no spans\n", path)
+		return 1
+	}
+	rs := roots(spans)
+	if len(rs) == 0 {
+		fmt.Fprintf(os.Stderr, "c4trace: %s: no root spans\n", path)
+		return 1
+	}
+	for _, root := range rs {
+		if len(trace.CriticalPath(spans, root)) == 0 {
+			fmt.Fprintf(os.Stderr, "c4trace: %s: empty critical path for %s\n", path, root.Name)
+			return 1
+		}
+	}
+	fmt.Printf("%s: ok (%d spans, %d roots)\n", path, len(spans), len(rs))
+	return 0
+}

@@ -3,6 +3,7 @@ package accl
 import (
 	"c4/internal/netsim"
 	"c4/internal/sim"
+	"c4/internal/trace"
 )
 
 // Result summarizes a completed collective.
@@ -39,7 +40,14 @@ type Op struct {
 	pendingEdges int
 	lastEnd      sim.Time
 	completed    bool
+
+	span *trace.Span // op-lifetime span; nil when tracing is off
 }
+
+// tracer returns the simulation's tracer, which rides the network the
+// communicator is bound to: one wiring point (Network.Trace) covers both
+// layers, and flow spans nest under op spans via the tracer's scope.
+func (c *Communicator) tracer() *trace.Tracer { return c.cfg.Net.Trace }
 
 // Done reports whether the collective has finished.
 func (o *Op) Done() bool { return o.completed }
@@ -91,6 +99,7 @@ func (c *Communicator) startRing(op OpType, bytes float64, arrivals []sim.Time, 
 	o := &Op{comm: c, Type: op, Algo: "ring", Seq: c.seq, Bytes: bytes, onDone: onDone}
 	arr := c.resolveArrivals(arrivals)
 	c.announceArrivals(o, arr)
+	o.startSpan()
 	if c.cfg.Stepwise {
 		c.runRingStepwise(o, arr)
 	} else {
@@ -140,6 +149,24 @@ func (c *Communicator) announceArrivals(o *Op, arr []sim.Time) {
 	}
 }
 
+// startSpan opens the op's trace span at its earliest arrival, parented
+// on the tracer's current scope (the iteration or dpsync context that
+// launched the collective). Must run after announceArrivals resolved
+// o.started; an op whose every member crashed gets "now" so the span is
+// still well-formed.
+func (o *Op) startSpan() {
+	tr := o.comm.tracer()
+	if !tr.Enabled() {
+		return
+	}
+	at := o.started
+	if at == sim.MaxTime {
+		at = o.comm.cfg.Engine.Now()
+	}
+	o.span = tr.StartAt(nil, "op", string(o.Type), at)
+	o.span.Annotate("algo", o.Algo)
+}
+
 // finishEdge accounts one completed ring edge (or tree branch).
 func (o *Op) finishEdge(end sim.Time) {
 	if end > o.lastEnd {
@@ -161,6 +188,7 @@ func (o *Op) complete() {
 	if end < c.cfg.Engine.Now() {
 		end = c.cfg.Engine.Now()
 	}
+	o.span.FinishAt(end)
 	nodes := o.members
 	if nodes == nil {
 		nodes = c.nodes
@@ -248,9 +276,11 @@ func (c *Communicator) runSingleNode(o *Op, arrive sim.Time) {
 	o.pendingEdges = 1
 	c.cfg.Engine.Schedule(arrive, func() {
 		path := c.cfg.Net.Topo.IntraNodePath(node)
+		restore := c.tracer().Scope(o.span)
 		c.cfg.Net.StartFlow(path, bits, string(o.Type), func(f *netsim.Flow) {
 			o.finishEdge(c.cfg.Engine.Now())
 		})
+		restore()
 	})
 }
 

@@ -46,6 +46,7 @@ func (c *Communicator) SendRecv(src, dst int, bytes float64, ready sim.Time, onD
 		}
 	}
 	c.announceArrivals(o, arr)
+	o.startSpan()
 	if arr[src] == sim.MaxTime || arr[dst] == sim.MaxTime {
 		return o // a crashed endpoint: the transfer never starts, the op hangs
 	}

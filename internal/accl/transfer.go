@@ -1,9 +1,12 @@
 package accl
 
 import (
+	"fmt"
+
 	"c4/internal/netsim"
 	"c4/internal/sim"
 	"c4/internal/topo"
+	"c4/internal/trace"
 )
 
 // transfer moves `bytes` from src node to dst node, striped across the
@@ -18,6 +21,13 @@ import (
 // retries; in the meantime the operation hangs, which is exactly the
 // communication-hang syndrome C4D observes.
 func (c *Communicator) transfer(o *Op, src, dst int, bytes float64, onDone func(end sim.Time)) {
+	// The edge span covers the whole member send/recv (all rails, all QP
+	// shares) as a child of the collective op span. A transfer that never
+	// finds transport leaves it open — the hang is visible in the trace.
+	var sp *trace.Span
+	if tr := c.tracer(); tr.Enabled() {
+		sp = tr.Start(o.span, "xfer", fmt.Sprintf("n%d->n%d", src, dst))
+	}
 	rails := c.cfg.Rails
 	perRail := bytes / float64(len(rails))
 	pending := 0
@@ -28,6 +38,7 @@ func (c *Communicator) transfer(o *Op, src, dst int, bytes float64, onDone func(
 		}
 		pending--
 		if pending == 0 {
+			sp.FinishAt(lastEnd)
 			onDone(lastEnd)
 		}
 	}
@@ -37,7 +48,7 @@ func (c *Communicator) transfer(o *Op, src, dst int, bytes float64, onDone func(
 			continue
 		}
 		pending++
-		c.sendOnConn(o, conn, perRail, finish)
+		c.sendOnConn(o, conn, perRail, sp, finish)
 	}
 	if pending == 0 {
 		// No transport anywhere: the operation hangs, as it would in RoCE.
@@ -47,11 +58,14 @@ func (c *Communicator) transfer(o *Op, src, dst int, bytes float64, onDone func(
 
 // sendOnConn ships railBytes over one connection, retrying while the
 // connection has no healthy path at all.
-func (c *Communicator) sendOnConn(o *Op, conn *Conn, railBytes float64, finish func(sim.Time)) {
+func (c *Communicator) sendOnConn(o *Op, conn *Conn, railBytes float64, sp *trace.Span, finish func(sim.Time)) {
+	// Flows started here (including after a retry) nest under the edge
+	// span, which the retry closure carries across the delay.
+	defer c.tracer().Scope(sp)()
 	shares := c.planShares(conn, railBytes)
 	if len(shares) == 0 {
 		c.cfg.Engine.After(sim.Second, func() {
-			c.sendOnConn(o, conn, railBytes, finish)
+			c.sendOnConn(o, conn, railBytes, sp, finish)
 		})
 		return
 	}

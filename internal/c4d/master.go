@@ -6,6 +6,7 @@ import (
 
 	"c4/internal/accl"
 	"c4/internal/sim"
+	"c4/internal/trace"
 )
 
 // Config tunes the master's detectors.
@@ -34,6 +35,12 @@ type Config struct {
 	// detector averages over, smoothing random load variation (the EP
 	// extension discussed in §V). Default 3.
 	SmoothingWindows int
+
+	// Trace, when enabled, records each finding as an instant "detect"
+	// span parented under the tracer's current "fault" mark — the causal
+	// fault-window → detection link — and republishes it as the "detect"
+	// mark for steering to parent its actions under. Optional.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns the tuning used across the repository.
@@ -285,6 +292,12 @@ func (m *Master) emit(e Event) {
 	}
 	m.lastFire[key] = e.Time
 	m.events = append(m.events, e)
+	if tr := m.cfg.Trace; tr.Enabled() {
+		sp := tr.Event(tr.Mark("fault"), "detect", e.Syndrome.String())
+		sp.Annotate("scope", e.Scope.String())
+		sp.Annotate("node", fmt.Sprintf("%d", e.Node))
+		tr.SetMark("detect", sp)
+	}
 	for _, h := range m.handlers {
 		h(e)
 	}

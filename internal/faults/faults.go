@@ -23,6 +23,7 @@ import (
 	"c4/internal/rca"
 	"c4/internal/sim"
 	"c4/internal/topo"
+	"c4/internal/trace"
 )
 
 // Kind is one fault archetype of the model.
@@ -241,6 +242,25 @@ func (in *Injector) Arm(s Spec) error {
 	}
 	links := s.Links(in.Topo)
 	end := s.End()
+	// The fault-window span opens before the onset events scheduled below
+	// (same instant, earlier sequence), so everything the fault causes can
+	// nest under it; the "fault" mark is how c4d parents its detection
+	// spans without a package dependency. With overlapping faults the mark
+	// holds the most recently opened window — the best single attribution
+	// guess a detector could make too.
+	if tr := in.Net.Trace; tr.Enabled() {
+		var fsp *trace.Span
+		in.Eng.Schedule(s.Start, func() {
+			fsp = tr.Start(nil, "fault", s.Kind.String()).Annotate("spec", s.String())
+			tr.SetMark("fault", fsp)
+		})
+		in.Eng.Schedule(end, func() {
+			fsp.FinishAt(in.Eng.Now())
+			if tr.Mark("fault") == fsp {
+				tr.SetMark("fault", nil)
+			}
+		})
+	}
 	switch s.Kind {
 	case LinkFlap:
 		downSpan := sim.Time(float64(s.Period) * s.Severity)

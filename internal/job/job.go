@@ -19,6 +19,7 @@ import (
 	"c4/internal/netsim"
 	"c4/internal/plan"
 	"c4/internal/sim"
+	"c4/internal/trace"
 	"c4/internal/workload"
 )
 
@@ -104,7 +105,12 @@ type Job struct {
 	exposedSum sim.Time
 	onDone     func(Report)
 	onIter     func(int, sim.Time)
+	iterSpan   *trace.Span // current iteration's trace span; nil when off
 }
+
+// tracer returns the simulation's tracer via the network, the single
+// wiring point shared with accl and netsim.
+func (j *Job) tracer() *trace.Tracer { return j.cfg.Net.Trace }
 
 // New validates the spec, compiles its iteration plan, and opens the
 // job's communicators: one per pipeline stage's DP group, plus one per
@@ -243,6 +249,10 @@ func (j *Job) iterate() {
 		return
 	}
 	j.iterStart = j.cfg.Engine.Now()
+	j.iterSpan = nil
+	if tr := j.tracer(); tr.Enabled() {
+		j.iterSpan = tr.Start(nil, "iter", fmt.Sprintf("iter-%d", len(j.iterTimes)))
+	}
 	if j.plan.Degenerate {
 		j.iterateFused()
 	} else {
@@ -253,6 +263,7 @@ func (j *Job) iterate() {
 // completeIter records a finished iteration's duration and breakdown,
 // then starts the next one.
 func (j *Job) completeIter(dur, busy, bubble, exposed sim.Time) {
+	j.iterSpan.FinishAt(j.iterStart + dur)
 	j.iterTimes = append(j.iterTimes, dur)
 	j.busySum += busy
 	j.bubbleSum += bubble
@@ -293,6 +304,12 @@ func (j *Job) iterateFused() {
 
 	bytes := j.cfg.Spec.Model.GradBytesPerRank(j.cfg.Spec.Par)
 	anyComm := false
+	// Collective ops launched below parent under the iteration span; the
+	// ZeRO second phase launches from a completion callback, where the
+	// scope stack is long gone, so it captures the span explicitly.
+	isp := j.iterSpan
+	restoreScope := j.tracer().Scope(isp)
+	defer restoreScope()
 	for gi, g := range j.groups {
 		arr := make([]sim.Time, len(g))
 		for i, n := range g {
@@ -316,9 +333,11 @@ func (j *Job) iterateFused() {
 			// updated parameters — same total volume as allreduce, two
 			// dependent phases.
 			comm.ReduceScatter(bytes, arr, func(accl.Result) {
+				restore := j.tracer().Scope(isp)
 				comm.AllGather(bytes, nil, func(r accl.Result) {
 					groupDone(r.End)
 				})
+				restore()
 			})
 		} else {
 			comm.AllReduce(bytes, arr, func(r accl.Result) {
@@ -362,6 +381,8 @@ func (j *Job) iteratePlanned() {
 	epoch := j.commEpoch
 	fab := plan.Fabric{
 		Engine: j.cfg.Engine,
+		Trace:  j.tracer(),
+		Span:   j.iterSpan,
 		P2P: func(replica, from, to int, bytes float64, ready sim.Time, done func(sim.Time)) {
 			if j.commEpoch == epoch {
 				j.p2p(replica, from, to, bytes, ready, done)
@@ -408,8 +429,13 @@ func (j *Job) dpSync(stage int, bytes float64, arrivals []sim.Time, done func(si
 		return
 	}
 	if j.cfg.Spec.Par.ZeRO {
+		// The allgather launches from a completion callback, after the
+		// executor's dpsync scope has unwound; re-establish it explicitly.
+		parent := j.tracer().Current()
 		comm.ReduceScatter(bytes, arrivals, func(accl.Result) {
+			restore := j.tracer().Scope(parent)
 			comm.AllGather(bytes, nil, func(r accl.Result) { done(r.End) })
+			restore()
 		})
 		return
 	}

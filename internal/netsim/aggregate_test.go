@@ -31,18 +31,18 @@ func kernelConfigs() []struct {
 	}
 }
 
-// trace is the observable outcome of one simulated workload: completion
+// wtrace is the observable outcome of one simulated workload: completion
 // instants per flow label, cumulative carried bits and CNPs on probe
 // points, and the engine's event count. Two kernels are equivalent iff
 // their traces are identical.
-type trace struct {
+type wtrace struct {
 	done  map[string]sim.Time
 	bits  map[string]float64
 	cnps  float64
 	fired uint64
 }
 
-func (tr *trace) equal(other *trace) error {
+func (tr *wtrace) equal(other *wtrace) error {
 	for k, v := range tr.done {
 		if other.done[k] != v {
 			return fmt.Errorf("flow %s completed at %v vs %v", k, v, other.done[k])
@@ -66,11 +66,11 @@ func (tr *trace) equal(other *trace) error {
 // kernel has — multi-member classes, shared bottlenecks, loss, capacity
 // degradation, a link failure with reroute, and a mid-flight cancel — and
 // returns its trace.
-func runWorkload(cfg Config) *trace {
+func runWorkload(cfg Config) *wtrace {
 	eng := sim.NewEngine()
 	tp := topo.MustNew(topo.PaperTestbed())
 	n := New(eng, tp, cfg)
-	tr := &trace{done: map[string]sim.Time{}, bits: map[string]float64{}}
+	tr := &wtrace{done: map[string]sim.Time{}, bits: map[string]float64{}}
 
 	finish := func(f *Flow) { tr.done[f.Label] = eng.Now() }
 
@@ -126,7 +126,7 @@ func runWorkload(cfg Config) *trace {
 // rebuild: the aggregated kernel — serial or parallel — replays the
 // per-flow kernel byte for byte.
 func TestKernelsEquivalentOnMixedWorkload(t *testing.T) {
-	var ref *trace
+	var ref *wtrace
 	for _, kc := range kernelConfigs() {
 		tr := runWorkload(kc.cfg)
 		if ref == nil {

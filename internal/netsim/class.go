@@ -6,6 +6,7 @@ import (
 
 	"c4/internal/sim"
 	"c4/internal/topo"
+	"c4/internal/trace"
 )
 
 // Flow-class aggregation: the paper's workloads are N-rank collectives, so
@@ -40,6 +41,8 @@ type flowClass struct {
 	alive  bool
 	frozen bool
 	rate   float64
+
+	span *trace.Span // class-lifetime span; nil when tracing is off
 }
 
 // forcedKernel, when nonzero, overrides Config.Aggregate in New: bit 0 set
@@ -81,9 +84,20 @@ func (n *Network) classAdmit(f *Flow) {
 		fc = &flowClass{key: string(b), links: append([]*topo.Link(nil), f.Path.Links...)}
 		n.classIndex[fc.key] = fc
 		n.classes = append(n.classes, fc)
+		if n.Trace.Enabled() {
+			fc.span = n.Trace.Start(nil, "class", classLabel(fc))
+		}
 	}
 	fc.members = append(fc.members, f)
 	f.class = fc
+}
+
+// classLabel names a class span by its shared link chain's endpoints.
+func classLabel(fc *flowClass) string {
+	if len(fc.links) == 0 {
+		return "empty"
+	}
+	return fc.links[0].Name + ".." + fc.links[len(fc.links)-1].Name
 }
 
 // classRemove detaches f from its class, dropping the class when f was the
@@ -102,6 +116,7 @@ func (n *Network) classRemove(f *Flow) {
 		}
 	}
 	if len(fc.members) == 0 {
+		fc.span.FinishAt(n.Engine.Now())
 		delete(n.classIndex, fc.key)
 		for i, c := range n.classes {
 			if c == fc {

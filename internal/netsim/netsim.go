@@ -31,6 +31,7 @@ import (
 
 	"c4/internal/sim"
 	"c4/internal/topo"
+	"c4/internal/trace"
 )
 
 // Gbps converts gigabits per second to bits per second.
@@ -99,6 +100,7 @@ type Flow struct {
 	frozen    bool       // scratch flag used during max-min filling
 	class     *flowClass // aggregation class; nil under the per-flow kernel
 	admitEv   *sim.Event
+	span      *trace.Span // flow-lifetime span; nil when tracing is off
 }
 
 // Rate reports the flow's current bandwidth allocation in bits/second.
@@ -127,6 +129,14 @@ type Network struct {
 	Engine *sim.Engine
 	Topo   *topo.Topology
 	Cfg    Config
+
+	// Trace, when non-nil, records a span per flow lifetime (submission to
+	// completion, base latency included) plus instant events for reroutes
+	// and path-down notifications as children of the flow span. Parentage
+	// comes from the tracer's current scope, so flows started by a traced
+	// collective op nest under it. Purely observational: no simulation
+	// state reads it.
+	Trace *trace.Tracer
 
 	flows   []*Flow // active flows, insertion order (stable IDs)
 	nextID  int
@@ -244,6 +254,9 @@ func (n *Network) StartFlow(path *topo.Path, sizeBits float64, label string, onC
 		remaining:  sizeBits,
 		started:    n.Engine.Now(),
 	}
+	if n.Trace.Enabled() {
+		f.span = n.Trace.Start(nil, "flow", label).Annotate("path", pathLabel(path))
+	}
 	f.admitEv = n.Engine.After(n.Cfg.BaseLatency, func() {
 		f.admitted = true
 		n.flows = append(n.flows, f)
@@ -259,6 +272,7 @@ func (n *Network) StartFlow(path *topo.Path, sizeBits float64, label string, onC
 		// forever. Health is checked post-admission so the handler may
 		// Reroute or Cancel the flow like any other down-path notification.
 		if !f.done && f.OnPathDown != nil && !f.Path.Up() {
+			n.Trace.Event(f.span, "path-down", "admitted-on-down-path")
 			f.OnPathDown(f)
 		}
 	})
@@ -278,6 +292,8 @@ func (n *Network) Cancel(f *Flow) {
 		n.settle()
 	}
 	f.done = true
+	f.span.Annotate("cancelled", "1")
+	f.span.FinishAt(n.Engine.Now())
 	if f.admitEv != nil {
 		f.admitEv.Cancel()
 	}
@@ -293,6 +309,9 @@ func (n *Network) Cancel(f *Flow) {
 func (n *Network) Reroute(f *Flow, path *topo.Path) {
 	if f.done {
 		return
+	}
+	if n.Trace.Enabled() {
+		n.Trace.Event(f.span, "reroute", pathLabel(path))
 	}
 	n.settle()
 	if f.admitted {
@@ -362,6 +381,7 @@ func (n *Network) SetLinkUp(l *topo.Link, up bool) {
 		}
 		for _, f := range hit {
 			if !f.done && f.OnPathDown != nil {
+				n.Trace.Event(f.span, "path-down", l.Name)
 				f.OnPathDown(f)
 			}
 		}
@@ -536,11 +556,28 @@ func (n *Network) completions() {
 		}
 		f.remaining = 0
 		f.done = true
+		f.span.FinishAt(n.Engine.Now())
 		n.remove(f)
 		if f.OnComplete != nil {
 			f.OnComplete(f)
 		}
 	}
+}
+
+// pathLabel renders a path for span attributes. topo.Path.String assumes
+// fabric endpoints; intra-node (NVLink) paths have no ports, so fall back
+// to the link chain's first name.
+func pathLabel(p *topo.Path) string {
+	if p == nil {
+		return ""
+	}
+	if p.SrcPort == nil || p.DstPort == nil {
+		if len(p.Links) > 0 {
+			return p.Links[0].Name
+		}
+		return "local"
+	}
+	return p.String()
 }
 
 // String summarizes the simulator state; useful in debugging sessions.

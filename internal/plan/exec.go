@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"c4/internal/sim"
+	"c4/internal/trace"
 )
 
 // Fabric is the transport surface the executor drives. The job layer
@@ -21,6 +22,15 @@ type Fabric struct {
 	// arrivals[d] is replica d's bucket-ready instant. done fires with
 	// the synchronization's completion time.
 	DPSync func(stage int, bytes float64, arrivals []sim.Time, done func(end sim.Time))
+
+	// Trace, when enabled, records a span per compute slot ("slot",
+	// d/s/fwd|bwd), per stage-to-stage transfer ("p2p") and per gradient
+	// bucket sync ("dpsync", stage/bucket), all parented under Span (the
+	// job's iteration span). The fabric's P2P/DPSync launches run inside
+	// the matching span's scope, so the underlying collective op and flow
+	// spans nest under it.
+	Trace *trace.Tracer
+	Span  *trace.Span
 }
 
 // IterTiming carries this iteration's per-node compute perturbations,
@@ -207,6 +217,14 @@ func (e *exec) try(d, s int) {
 		st.busyUntil = end
 		st.busy += end - begin
 		st.idx++
+		if e.f.Trace.Enabled() {
+			// Slot begin/end are known at schedule time; record the span
+			// whole so micro-batch attribution needs no completion hook.
+			sp := e.f.Trace.StartAt(e.f.Span, "slot",
+				fmt.Sprintf("d%d/s%d %s", d, s, kindLabel(t.Kind)), begin)
+			sp.Annotate("mb", fmt.Sprintf("%d", t.MB))
+			sp.FinishAt(end)
+		}
 		// The final backward pass's bucket-ready instants are known the
 		// moment the slot is scheduled; record them now so the DP sync
 		// can launch with future arrival times, exactly as the fused
@@ -233,10 +251,24 @@ func (e *exec) recordBuckets(d, s int, begin, end sim.Time) {
 		e.bucketReady[s][i][d] = at
 		e.bucketSeen[s][i]++
 		if e.bucketSeen[s][i] == e.p.DP {
+			var sp *trace.Span
+			if e.f.Trace.Enabled() {
+				first := e.bucketReady[s][i][0]
+				for _, t := range e.bucketReady[s][i][1:] {
+					if t < first {
+						first = t
+					}
+				}
+				sp = e.f.Trace.StartAt(e.f.Span, "dpsync",
+					fmt.Sprintf("stage%d/bucket%d", s, i), first)
+			}
+			restore := e.f.Trace.Scope(sp)
 			e.f.DPSync(s, e.p.Buckets[i], e.bucketReady[s][i], func(at sim.Time) {
+				sp.FinishAt(at)
 				e.syncLeft--
 				e.maybeFinish(at)
 			})
+			restore()
 		}
 	}
 }
@@ -254,19 +286,44 @@ func (e *exec) completeSlot(d, s int, t Task, begin, end sim.Time) {
 	switch {
 	case t.Kind == Fwd && s < e.p.PP-1:
 		mb := t.MB
+		sp := e.p2pSpan(d, s, s+1, end)
+		restore := e.f.Trace.Scope(sp)
 		e.f.P2P(d, s, s+1, e.p.ActBytes, end, func(at sim.Time) {
+			sp.FinishAt(at)
 			e.st[d][s+1].actAt[mb] = at
 			e.try(d, s+1)
 		})
+		restore()
 	case t.Kind == Bwd && s > 0:
 		mb := t.MB
+		sp := e.p2pSpan(d, s, s-1, end)
+		restore := e.f.Trace.Scope(sp)
 		e.f.P2P(d, s, s-1, e.p.ActBytes, end, func(at sim.Time) {
+			sp.FinishAt(at)
 			e.st[d][s-1].gradAt[mb] = at
 			e.try(d, s-1)
 		})
+		restore()
 	}
 	e.computeLeft--
 	e.maybeFinish(end)
+}
+
+// p2pSpan opens the span for a stage-to-stage transfer launched at
+// `ready`; nil when tracing is off.
+func (e *exec) p2pSpan(d, from, to int, ready sim.Time) *trace.Span {
+	if !e.f.Trace.Enabled() {
+		return nil
+	}
+	return e.f.Trace.StartAt(e.f.Span, "p2p",
+		fmt.Sprintf("d%d s%d->s%d", d, from, to), ready)
+}
+
+func kindLabel(k TaskKind) string {
+	if k == Bwd {
+		return "bwd"
+	}
+	return "fwd"
 }
 
 // maybeFinish closes the iteration when compute and synchronization have

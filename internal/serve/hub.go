@@ -18,6 +18,8 @@ type hub struct {
 	lines     [][]byte
 	bytes     int
 	limit     int
+	dropped   int // lines past the byte budget
+	subs      int // subscribers currently streaming
 	truncated bool
 	closed    bool
 	wake      chan struct{}
@@ -42,6 +44,7 @@ func (h *hub) Observe(r telemetry.Record) {
 	}
 	if h.limit > 0 && h.bytes+len(line) > h.limit {
 		h.truncated = true
+		h.dropped++
 		return
 	}
 	h.lines = append(h.lines, line)
@@ -80,10 +83,24 @@ func (h *hub) next(from int) (lines [][]byte, to int, done bool, wake <-chan str
 	return h.lines[from:], len(h.lines), h.closed, h.wake
 }
 
-// stats reports the retained record count and whether the budget dropped
-// records.
-func (h *hub) stats() (records int, truncated bool) {
+// subscribe registers a streaming subscriber; the returned func
+// deregisters it.
+func (h *hub) subscribe() func() {
+	h.mu.Lock()
+	h.subs++
+	h.mu.Unlock()
+	return func() {
+		h.mu.Lock()
+		h.subs--
+		h.mu.Unlock()
+	}
+}
+
+// stats reports the retained record count, the lines the byte budget
+// dropped, the subscribers currently attached, and whether the stream
+// was truncated.
+func (h *hub) stats() (records, dropped, subscribers int, truncated bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.lines), h.truncated
+	return len(h.lines), h.dropped, h.subs, h.truncated
 }

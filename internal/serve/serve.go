@@ -23,8 +23,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"c4"
@@ -84,6 +86,24 @@ type session struct {
 	touch  uint64        // eviction order (monotonic, not wall clock)
 }
 
+// counters is the Prometheus-exposed operational state, guarded by
+// Server.mu except sseBytes, which streaming handlers bump outside the
+// lock. Gauges (per-state session counts, live subscribers) are computed
+// at scrape time from the table itself so they can never drift.
+type counters struct {
+	created  uint64
+	evicted  uint64
+	rejected map[string]uint64 // admission refusals by reason
+	runs     map[string]uint64 // finished runs by outcome state
+	// retiredDropped accumulates the dropped-line counts of hubs whose
+	// sessions were evicted or deleted, so the totals survive removal.
+	retiredDropped uint64
+	sseBytes       atomic.Uint64
+}
+
+// Admission-rejection reasons and the metric's fixed label order.
+var rejectReasons = []string{"conflict", "draining", "run_cap", "table_full"}
+
 // Server is the session table plus its HTTP surface.
 type Server struct {
 	cfg Config
@@ -94,12 +114,26 @@ type Server struct {
 	clock    uint64 // touch counter
 	running  int
 	draining bool
+	ctrs     counters
 	wg       sync.WaitGroup
 }
 
 // New creates a Server.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg.withDefaults(), sessions: map[string]*session{}}
+	return &Server{
+		cfg:      cfg.withDefaults(),
+		sessions: map[string]*session{},
+		ctrs: counters{
+			rejected: map[string]uint64{},
+			runs:     map[string]uint64{},
+		},
+	}
+}
+
+// reject counts an admission refusal and answers it. Callers hold s.mu.
+func (s *Server) rejectLocked(w http.ResponseWriter, reason string, code int, format string, args ...any) {
+	s.ctrs.rejected[reason]++
+	fail(w, code, format, args...)
 }
 
 // Handler mounts the API routes.
@@ -114,7 +148,82 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/run", s.handleRun)
 	mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
+}
+
+// OpsHandler mounts the operational endpoints kept off the public API
+// mux — runtime profiling and a second /metrics — so exposing pprof is
+// an explicit opt-in (`c4serve -ops`) rather than a side effect of
+// serving sessions.
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleMetrics renders the Prometheus text exposition format with the
+// standard library only: every series is written in a fixed order with
+// fixed label sets, so two scrapes of the same state are byte-identical.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	created, evicted := s.ctrs.created, s.ctrs.evicted
+	rejected := make(map[string]uint64, len(rejectReasons))
+	for _, reason := range rejectReasons {
+		rejected[reason] = s.ctrs.rejected[reason]
+	}
+	runs := map[string]uint64{}
+	for _, outcome := range []string{StateDone, StateFailed, StateCancelled} {
+		runs[outcome] = s.ctrs.runs[outcome]
+	}
+	states := map[string]int{}
+	var subs int
+	dropped := s.ctrs.retiredDropped
+	for _, e := range s.sessions {
+		states[e.state]++
+		_, d, su, _ := e.hub.stats()
+		dropped += uint64(d)
+		subs += su
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+	p("# HELP c4serve_sessions_created_total Sessions admitted to the table.\n")
+	p("# TYPE c4serve_sessions_created_total counter\n")
+	p("c4serve_sessions_created_total %d\n", created)
+	p("# HELP c4serve_sessions_evicted_total Finished sessions evicted to admit new ones.\n")
+	p("# TYPE c4serve_sessions_evicted_total counter\n")
+	p("c4serve_sessions_evicted_total %d\n", evicted)
+	p("# HELP c4serve_admission_rejected_total Requests refused by admission control.\n")
+	p("# TYPE c4serve_admission_rejected_total counter\n")
+	for _, reason := range rejectReasons {
+		p("c4serve_admission_rejected_total{reason=%q} %d\n", reason, rejected[reason])
+	}
+	p("# HELP c4serve_runs_total Finished session runs by outcome.\n")
+	p("# TYPE c4serve_runs_total counter\n")
+	for _, outcome := range []string{StateCancelled, StateDone, StateFailed} {
+		p("c4serve_runs_total{outcome=%q} %d\n", outcome, runs[outcome])
+	}
+	p("# HELP c4serve_sessions Sessions currently in the table by state.\n")
+	p("# TYPE c4serve_sessions gauge\n")
+	for _, state := range []string{StateCancelled, StateCreated, StateDone, StateFailed, StateRunning} {
+		p("c4serve_sessions{state=%q} %d\n", state, states[state])
+	}
+	p("# HELP c4serve_sse_subscribers Telemetry stream subscribers currently connected.\n")
+	p("# TYPE c4serve_sse_subscribers gauge\n")
+	p("c4serve_sse_subscribers %d\n", subs)
+	p("# HELP c4serve_sse_bytes_total Telemetry bytes written to SSE subscribers.\n")
+	p("# TYPE c4serve_sse_bytes_total counter\n")
+	p("c4serve_sse_bytes_total %d\n", s.ctrs.sseBytes.Load())
+	p("# HELP c4serve_sse_dropped_total Telemetry lines dropped by per-session retention budgets.\n")
+	p("# TYPE c4serve_sse_dropped_total counter\n")
+	p("c4serve_sse_dropped_total %d\n", dropped)
 }
 
 // Status is the JSON rendering of one session.
@@ -124,18 +233,23 @@ type Status struct {
 	Error   string             `json:"error,omitempty"`
 	Summary string             `json:"summary,omitempty"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
-	// Records counts retained telemetry records; Truncated reports
-	// whether the retention budget dropped any.
-	Records   int  `json:"records"`
-	Truncated bool `json:"truncated,omitempty"`
+	// Records counts retained telemetry records; Dropped the lines the
+	// retention budget discarded; Truncated reports whether anything was
+	// dropped at all. Subscribers counts the SSE streams currently
+	// attached.
+	Records     int  `json:"records"`
+	Dropped     int  `json:"dropped,omitempty"`
+	Subscribers int  `json:"subscribers,omitempty"`
+	Truncated   bool `json:"truncated,omitempty"`
 }
 
 func (s *Server) status(e *session) Status {
-	records, truncated := e.hub.stats()
+	records, dropped, subscribers, truncated := e.hub.stats()
 	return Status{
 		ID: e.id, State: e.state, Error: e.err,
 		Summary: e.sess.Summary(), Metrics: e.sess.Metrics(),
-		Records: records, Truncated: truncated,
+		Records: records, Dropped: dropped,
+		Subscribers: subscribers, Truncated: truncated,
 	}
 }
 
@@ -178,14 +292,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
-		fail(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.rejectLocked(w, "draining", http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions && !s.evictLocked() {
-		fail(w, http.StatusServiceUnavailable,
+		s.rejectLocked(w, "table_full", http.StatusServiceUnavailable,
 			"session table full (%d) and nothing evictable; delete or finish sessions", s.cfg.MaxSessions)
 		return
 	}
+	s.ctrs.created++
 	s.nextID++
 	e := &session{
 		id:    fmt.Sprintf("s%06d", s.nextID),
@@ -219,8 +334,17 @@ func (s *Server) evictLocked() bool {
 	}
 	victim.hub.Close()
 	victim.sess.Close()
+	s.retireLocked(victim)
 	delete(s.sessions, victim.id)
+	s.ctrs.evicted++
 	return true
+}
+
+// retireLocked folds a departing session's drop count into the totals so
+// /metrics counters never go backwards when entries leave the table.
+func (s *Server) retireLocked(e *session) {
+	_, dropped, _, _ := e.hub.stats()
+	s.ctrs.retiredDropped += uint64(dropped)
 }
 
 // touchLocked stamps e as most recently used.
@@ -274,20 +398,19 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	if s.draining {
+		s.rejectLocked(w, "draining", http.StatusServiceUnavailable, "server is shutting down")
 		s.mu.Unlock()
-		fail(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	if e.state != StateCreated {
-		st := e.state
+		s.rejectLocked(w, "conflict", http.StatusConflict, "session %s is %s; sessions run at most once", e.id, e.state)
 		s.mu.Unlock()
-		fail(w, http.StatusConflict, "session %s is %s; sessions run at most once", e.id, st)
 		return
 	}
 	if s.running >= s.cfg.MaxRunning {
-		s.mu.Unlock()
-		fail(w, http.StatusTooManyRequests,
+		s.rejectLocked(w, "run_cap", http.StatusTooManyRequests,
 			"%d sessions already running (cap %d); retry after one finishes", s.cfg.MaxRunning, s.cfg.MaxRunning)
+		s.mu.Unlock()
 		return
 	}
 	var ctx context.Context
@@ -322,6 +445,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			e.state = StateFailed
 			e.err = err.Error()
 		}
+		s.ctrs.runs[e.state]++
 		s.mu.Unlock()
 		close(e.done)
 	}()
@@ -351,6 +475,10 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
+	unsubscribe := e.hub.subscribe()
+	defer unsubscribe()
+	var sent uint64
+	defer func() { s.ctrs.sseBytes.Add(sent) }()
 
 	at := 0
 	for {
@@ -358,15 +486,18 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		for _, line := range lines {
 			// line carries its trailing newline; SSE data frames must not,
 			// so trim it and close the event with the blank line.
-			fmt.Fprintf(w, "data: %s\n\n", line[:len(line)-1])
+			n, _ := fmt.Fprintf(w, "data: %s\n\n", line[:len(line)-1])
+			sent += uint64(n)
 		}
 		if len(lines) > 0 {
 			fl.Flush()
 		}
 		at = next
 		if done {
-			records, truncated := e.hub.stats()
-			fmt.Fprintf(w, "event: end\ndata: {\"records\": %d, \"truncated\": %t}\n\n", records, truncated)
+			records, dropped, _, truncated := e.hub.stats()
+			n, _ := fmt.Fprintf(w, "event: end\ndata: {\"records\": %d, \"dropped\": %d, \"truncated\": %t}\n\n",
+				records, dropped, truncated)
+			sent += uint64(n)
 			fl.Flush()
 			return
 		}
@@ -402,6 +533,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	e.hub.Close()
 	e.sess.Close()
+	s.retireLocked(e)
 	delete(s.sessions, e.id)
 	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)

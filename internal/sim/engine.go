@@ -70,6 +70,7 @@ func (e *Event) Cancel() {
 	e.cancel = true
 	if e.index >= 0 && e.eng != nil {
 		e.eng.dead++
+		e.eng.stats.cancelled++
 		e.eng.maybeCompact()
 	}
 }
@@ -117,6 +118,20 @@ type Engine struct {
 	fired   uint64
 	dead    int // cancelled events still sitting in the queue
 	ids     map[string]int
+	stats   queueCounters
+}
+
+// queueCounters is the engine's lifetime accounting, surfaced via
+// QueueStats. Counters only ever increase; the high-water marks record the
+// worst pressure the queue has seen, which is what capacity planning and
+// the compaction heuristic regressions care about.
+type queueCounters struct {
+	scheduled   uint64
+	cancelled   uint64
+	rescheduled uint64
+	compactions uint64
+	hiLive      int // max Pending() observed
+	hiHeap      int // max physical heap length observed
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -149,6 +164,39 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // compacted, but they never count here and never fire.
 func (e *Engine) Pending() int { return len(e.queue) - e.dead }
 
+// QueueStats is a snapshot of event-queue pressure and lifetime churn.
+// Len is the physical heap length, Dead the cancelled events still parked
+// in it, and Live their difference — always equal to Pending(). The two
+// can disagree transiently between a Cancel and the next compaction or
+// head-pop; exposing both makes that window observable instead of a
+// source of confusion.
+type QueueStats struct {
+	Len           int    // physical heap length right now
+	Dead          int    // cancelled events still occupying heap slots
+	Live          int    // Len - Dead; identical to Pending()
+	HighWater     int    // maximum Live ever observed at schedule time
+	HeapHighWater int    // maximum Len ever observed (includes dead weight)
+	Scheduled     uint64 // total events ever scheduled
+	Cancelled     uint64 // total queued events cancelled
+	Rescheduled   uint64 // total in-place Reschedule moves
+	Compactions   uint64 // times the dead-majority compaction ran
+}
+
+// QueueStats reports the current queue pressure and lifetime counters.
+func (e *Engine) QueueStats() QueueStats {
+	return QueueStats{
+		Len:           len(e.queue),
+		Dead:          e.dead,
+		Live:          len(e.queue) - e.dead,
+		HighWater:     e.stats.hiLive,
+		HeapHighWater: e.stats.hiHeap,
+		Scheduled:     e.stats.scheduled,
+		Cancelled:     e.stats.cancelled,
+		Rescheduled:   e.stats.rescheduled,
+		Compactions:   e.stats.compactions,
+	}
+}
+
 // maybeCompact physically removes cancelled events once they make up the
 // majority of a non-trivial queue. Long-running models that cancel and
 // re-arm timers constantly (flow reroutes, hang-alarm pushback) would
@@ -176,6 +224,7 @@ func (e *Engine) maybeCompact() {
 	}
 	heap.Init(&e.queue)
 	e.dead = 0
+	e.stats.compactions++
 }
 
 // Reschedule moves a still-queued event to a new instant in place
@@ -197,6 +246,7 @@ func (e *Engine) Reschedule(ev *Event, at Time) bool {
 	e.seq++
 	ev.seq = e.seq
 	heap.Fix(&e.queue, ev.index)
+	e.stats.rescheduled++
 	return true
 }
 
@@ -210,6 +260,13 @@ func (e *Engine) Schedule(at Time, fn func()) *Event {
 	e.seq++
 	ev := &Event{at: at, seq: e.seq, fn: fn, eng: e, index: -1}
 	heap.Push(&e.queue, ev)
+	e.stats.scheduled++
+	if n := len(e.queue); n > e.stats.hiHeap {
+		e.stats.hiHeap = n
+	}
+	if live := len(e.queue) - e.dead; live > e.stats.hiLive {
+		e.stats.hiLive = live
+	}
 	return ev
 }
 

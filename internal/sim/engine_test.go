@@ -451,3 +451,105 @@ func TestRandJitter(t *testing.T) {
 		t.Fatal("zero jitter should be identity")
 	}
 }
+
+// TestQueueStatsCompactionEdge pins the window where Pending() and the
+// physical heap disagree: cancelled events keep their heap slots until the
+// dead-majority compaction (or a head pop) reclaims them, so Len > Live
+// transiently while Pending() stays correct throughout.
+func TestQueueStatsCompactionEdge(t *testing.T) {
+	e := NewEngine()
+	evs := make([]*Event, 100)
+	for i := range evs {
+		evs[i] = e.Schedule(Time(i+1), func() {})
+	}
+	st := e.QueueStats()
+	if st.Len != 100 || st.Dead != 0 || st.Live != 100 {
+		t.Fatalf("after scheduling: %+v", st)
+	}
+	if st.HighWater != 100 || st.HeapHighWater != 100 || st.Scheduled != 100 {
+		t.Fatalf("high-water marks wrong: %+v", st)
+	}
+
+	// 63 cancels: below the dead>=64 compaction floor, so the heap keeps
+	// the corpses and Len disagrees with Live — the transient edge.
+	for i := 0; i < 63; i++ {
+		evs[i].Cancel()
+	}
+	st = e.QueueStats()
+	if st.Dead != 63 || st.Len != 100 || st.Live != 37 {
+		t.Fatalf("pre-compaction: %+v", st)
+	}
+	if got := e.Pending(); got != st.Live {
+		t.Fatalf("Pending() = %d, QueueStats().Live = %d; must agree", got, st.Live)
+	}
+	if st.Compactions != 0 {
+		t.Fatalf("compaction ran too early: %+v", st)
+	}
+
+	// The 64th cancel crosses both thresholds (dead >= 64 and
+	// dead*2 > len): the heap compacts, Len snaps back to Live.
+	evs[63].Cancel()
+	st = e.QueueStats()
+	if st.Compactions != 1 {
+		t.Fatalf("compaction did not run: %+v", st)
+	}
+	if st.Dead != 0 || st.Len != 36 || st.Live != 36 {
+		t.Fatalf("post-compaction: %+v", st)
+	}
+	if st.Cancelled != 64 {
+		t.Fatalf("cancelled counter = %d; want 64", st.Cancelled)
+	}
+	// High-water marks are lifetime maxima: unaffected by the shrink.
+	if st.HighWater != 100 || st.HeapHighWater != 100 {
+		t.Fatalf("high-water marks moved: %+v", st)
+	}
+
+	// Cancelled head events are also reclaimed lazily by peek: that path
+	// shrinks Len without a compaction and must keep Live == Pending().
+	next := evs[64]
+	next.Cancel() // head of the queue, dead=1 < 64: stays parked
+	st = e.QueueStats()
+	if st.Dead != 1 || st.Len != 36 {
+		t.Fatalf("head cancel not parked: %+v", st)
+	}
+	if at := e.NextEventAt(); at != Time(66) {
+		t.Fatalf("NextEventAt = %v; want 66 (cancelled head skipped)", at)
+	}
+	st = e.QueueStats()
+	if st.Dead != 0 || st.Len != 35 || st.Live != 35 || st.Compactions != 1 {
+		t.Fatalf("peek did not reclaim the cancelled head: %+v", st)
+	}
+
+	// The surviving events still fire, exactly once each.
+	e.Run()
+	if fired := int(e.Fired()); fired != 35 {
+		t.Fatalf("fired %d events; want the 35 survivors", fired)
+	}
+	st = e.QueueStats()
+	if st.Len != 0 || st.Dead != 0 || st.Live != 0 {
+		t.Fatalf("queue not drained: %+v", st)
+	}
+}
+
+// TestQueueStatsReschedule pins that Reschedule counts moves without
+// disturbing the dead/live accounting.
+func TestQueueStatsReschedule(t *testing.T) {
+	e := NewEngine()
+	ev := e.Schedule(10, func() {})
+	if !e.Reschedule(ev, 20) {
+		t.Fatal("reschedule refused a queued event")
+	}
+	st := e.QueueStats()
+	if st.Rescheduled != 1 || st.Scheduled != 1 || st.Len != 1 || st.Dead != 0 {
+		t.Fatalf("after reschedule: %+v", st)
+	}
+	ev.Cancel()
+	if !e.Reschedule(ev, 30) {
+		// expected: cancelled events cannot be rescheduled
+	} else {
+		t.Fatal("rescheduled a cancelled event")
+	}
+	if st := e.QueueStats(); st.Rescheduled != 1 {
+		t.Fatalf("failed reschedule counted: %+v", st)
+	}
+}

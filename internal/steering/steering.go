@@ -12,6 +12,7 @@ import (
 	"c4/internal/c4d"
 	"c4/internal/cluster"
 	"c4/internal/sim"
+	"c4/internal/trace"
 )
 
 // Action is one recovery performed by the service.
@@ -36,6 +37,12 @@ type Config struct {
 	// replacement node (or the same node if no spare was available).
 	Isolate func(node int)
 	Restart func(node, replacement int)
+
+	// Trace, when enabled, records each recovery as a "steer" span from
+	// the triggering finding to the restart instant, parented under the
+	// detection that caused it (the tracer's "detect" mark, falling back
+	// to the open "fault" window). Optional.
+	Trace *trace.Tracer
 }
 
 // Service is the live recovery pipeline driven by C4D events.
@@ -69,6 +76,15 @@ func (s *Service) Handle(ev c4d.Event) {
 	}
 	s.busy = true
 	now := s.cfg.Engine.Now()
+	var sp *trace.Span
+	if tr := s.cfg.Trace; tr.Enabled() {
+		parent := tr.Mark("detect")
+		if parent == nil {
+			parent = tr.Mark("fault")
+		}
+		sp = tr.Start(parent, "steer", ev.Syndrome.String())
+		sp.Annotate("node", fmt.Sprintf("%d", ev.Node))
+	}
 	if s.cfg.Isolate != nil {
 		s.cfg.Isolate(ev.Node)
 	}
@@ -81,6 +97,8 @@ func (s *Service) Handle(ev c4d.Event) {
 		act.Replacement = repl
 		s.cfg.Engine.After(s.cfg.RestartDelay, func() {
 			act.RestartAt = s.cfg.Engine.Now()
+			sp.Annotate("replacement", fmt.Sprintf("%d", repl))
+			sp.FinishAt(act.RestartAt)
 			s.actions = append(s.actions, act)
 			s.busy = false
 			if s.cfg.Restart != nil {

@@ -1,0 +1,35 @@
+package trace
+
+import "testing"
+
+// BenchmarkTraceDisabled pins the cost of the disabled tracer: every
+// instrumented hot path (netsim flow starts, accl transfers, plan slots)
+// pays this on each call when no tracer is attached, so it must stay at
+// zero allocations and a few nanoseconds.
+func BenchmarkTraceDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr.Enabled() {
+			b.Fatal("nil tracer enabled")
+		}
+		s := tr.Start(nil, "flow", "bench")
+		s.Annotate("path", "0=>1")
+		restore := tr.Scope(s)
+		restore()
+		s.Finish()
+	}
+}
+
+// BenchmarkTraceEnabled is the paired measurement for the enabled path,
+// so regressions in recording cost are visible next to the no-op cost.
+func BenchmarkTraceEnabled(b *testing.B) {
+	tr := testTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start(nil, "flow", "bench")
+		restore := tr.Scope(s)
+		restore()
+		s.FinishAt(s.Start + 1)
+	}
+}

@@ -1,0 +1,264 @@
+// Package trace is the simulation's causal span recorder. A span is an
+// interval of simulated time ({kind, name, start, end, parent, attrs})
+// recorded by the layer that knows the causality: the planner records
+// iterations and stage slots, accl records collective ops and member
+// transfers, netsim records flow lifetimes, faults records injected fault
+// windows, and c4d/steering record the detection→action chain as children
+// of the fault that caused them.
+//
+// Everything is deterministic by construction: span IDs come from
+// sim.Engine.NextID, timestamps are sim.Time, and attributes are ordered
+// slices rather than maps, so a serial run and a parallel run of the same
+// scenario export byte-identical traces.
+//
+// A nil *Tracer is the disabled recorder: every method is nil-safe and
+// returns immediately, and call sites additionally guard span-name
+// formatting behind Enabled() so the disabled path allocates nothing.
+package trace
+
+import "c4/internal/sim"
+
+// Attr is one key/value annotation on a span. Attrs are an ordered slice,
+// never a map, so export order is deterministic.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// Span is one recorded interval of simulated time. Start and End are
+// engine timestamps; End is -1 while the span is open. Parent is the ID of
+// the enclosing span (0 = root). Spans are created by Tracer.Start and
+// finished by Finish/FinishAt; both ends may be scheduled in the simulated
+// future (the planner knows slot begin/end at schedule time).
+type Span struct {
+	ID     int
+	Parent int
+	Kind   string
+	Name   string
+	Start  sim.Time
+	End    sim.Time
+	Attrs  []Attr
+
+	tr *Tracer
+}
+
+// Annotate appends a key/value attribute and returns the span for
+// chaining. Nil-safe: annotating a nil span (tracing disabled) is a no-op.
+func (s *Span) Annotate(key, val string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: val})
+	return s
+}
+
+// FinishAt closes the span at the given simulated time. Closing an already
+// closed span keeps the first end: collective completion paths may race a
+// cancellation path, and first-close-wins keeps the interval meaningful.
+// Nil-safe.
+func (s *Span) FinishAt(at sim.Time) {
+	if s == nil || s.End >= 0 {
+		return
+	}
+	if at < s.Start {
+		at = s.Start
+	}
+	s.End = at
+}
+
+// Finish closes the span at the tracer's current simulated time. Nil-safe.
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.FinishAt(s.tr.eng.Now())
+}
+
+// Open reports whether the span has not been finished yet.
+func (s *Span) Open() bool { return s.End < 0 }
+
+// Dur returns the span's duration, treating an open span as ending at
+// upTo (exporters pass the trace horizon).
+func (s *Span) Dur(upTo sim.Time) sim.Time {
+	end := s.End
+	if end < 0 {
+		end = upTo
+	}
+	if end < s.Start {
+		return 0
+	}
+	return end - s.Start
+}
+
+// Attr returns the value of the named attribute, or "" when absent.
+func (s *Span) Attr(key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
+}
+
+// Tracer records spans for one simulation. The zero value is unusable;
+// construct with New and attach to an engine with Bind before the first
+// span. A nil *Tracer is the disabled recorder: every method no-ops.
+//
+// Tracer is not safe for concurrent use. That is by design: each
+// simulation is single-threaded over one engine, and parallelism in this
+// codebase is always across engines, never within one.
+type Tracer struct {
+	eng   *sim.Engine
+	spans []*Span
+	// scope is the stack of implicit parents. Layers that launch work
+	// synchronously under a span (accl starting netsim flows) push it here
+	// so the lower layer can parent correctly without an API dependency.
+	scope []*Span
+	// marks are named cross-layer anchors ("fault", "detect"): the fault
+	// injector marks its window so c4d can parent detections under it, and
+	// c4d marks detections so steering can parent its actions.
+	marks map[string]*Span
+}
+
+// New returns an empty tracer. It must be Bound to an engine before spans
+// are recorded.
+func New() *Tracer {
+	return &Tracer{marks: make(map[string]*Span)}
+}
+
+// Bind attaches the tracer to the engine that provides timestamps and
+// span IDs. Sessions construct their engine after the caller attaches the
+// tracer, so binding is a separate step from New.
+func (t *Tracer) Bind(eng *sim.Engine) {
+	if t == nil {
+		return
+	}
+	t.eng = eng
+}
+
+// Enabled reports whether spans will actually be recorded. Call sites use
+// it to skip span-name formatting on the disabled path.
+func (t *Tracer) Enabled() bool { return t != nil && t.eng != nil }
+
+// Spans returns every recorded span in creation order. The slice is the
+// tracer's own backing store; callers must not mutate it.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// StartAt opens a span beginning at the given simulated time. parent nil
+// means "use the current scope" (which may itself be empty → root span).
+// Returns nil when tracing is disabled.
+func (t *Tracer) StartAt(parent *Span, kind, name string, at sim.Time) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	if parent == nil {
+		parent = t.Current()
+	}
+	pid := 0
+	if parent != nil {
+		pid = parent.ID
+	}
+	s := &Span{
+		ID:     t.eng.NextID("trace"),
+		Parent: pid,
+		Kind:   kind,
+		Name:   name,
+		Start:  at,
+		End:    -1,
+		tr:     t,
+	}
+	t.spans = append(t.spans, s)
+	return s
+}
+
+// Start opens a span beginning now.
+func (t *Tracer) Start(parent *Span, kind, name string) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	return t.StartAt(parent, kind, name, t.eng.Now())
+}
+
+// Event records an instantaneous span (start == end == now): reroutes,
+// path-down notifications, detection verdicts.
+func (t *Tracer) Event(parent *Span, kind, name string) *Span {
+	if !t.Enabled() {
+		return nil
+	}
+	s := t.StartAt(parent, kind, name, t.eng.Now())
+	s.End = s.Start
+	return s
+}
+
+// Scope pushes s as the implicit parent for spans started with a nil
+// parent, and returns the function that pops it. Usage:
+//
+//	defer tr.Scope(op.span)()
+//
+// Nil-safe in both the tracer and the span: a nil tracer returns a no-op
+// restore, and scoping a nil span still pushes (and pops) so restore
+// functions always pair.
+func (t *Tracer) Scope(s *Span) func() {
+	if t == nil {
+		return func() {}
+	}
+	t.scope = append(t.scope, s)
+	return func() { t.scope = t.scope[:len(t.scope)-1] }
+}
+
+// Current returns the innermost non-nil scoped span, or nil.
+func (t *Tracer) Current() *Span {
+	if t == nil {
+		return nil
+	}
+	for i := len(t.scope) - 1; i >= 0; i-- {
+		if t.scope[i] != nil {
+			return t.scope[i]
+		}
+	}
+	return nil
+}
+
+// SetMark publishes s under a well-known name for cross-layer parenting.
+// The fault layer marks "fault"; c4d parents detections under it and marks
+// "detect"; steering parents actions under that. A nil span clears the
+// mark. Nil-safe.
+func (t *Tracer) SetMark(name string, s *Span) {
+	if t == nil {
+		return
+	}
+	if s == nil {
+		delete(t.marks, name)
+		return
+	}
+	t.marks[name] = s
+}
+
+// Mark returns the span published under name, or nil.
+func (t *Tracer) Mark(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.marks[name]
+}
+
+// Horizon returns the latest timestamp mentioned by any span (end when
+// closed, start when open), used as the effective end for open spans at
+// export time. Returns 0 for an empty trace.
+func Horizon(spans []*Span) sim.Time {
+	var h sim.Time
+	for _, s := range spans {
+		if s.Start > h {
+			h = s.Start
+		}
+		if s.End > h {
+			h = s.End
+		}
+	}
+	return h
+}

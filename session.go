@@ -30,6 +30,7 @@ import (
 	"c4/internal/telemetry"
 	"c4/internal/tenancy"
 	"c4/internal/topo"
+	"c4/internal/trace"
 	"c4/internal/workload"
 )
 
@@ -158,6 +159,7 @@ type Session struct {
 	ten *tenancy.Config   // tenancy mode
 
 	sinks   []TelemetrySink
+	tracer  *trace.Tracer
 	state   int
 	metrics map[string]float64
 	summary string
@@ -376,6 +378,23 @@ func (s *Session) AttachSink(sink TelemetrySink) {
 	}
 }
 
+// AttachTracer subscribes a sim-time span tracer to the session (job and
+// plan modes; scenario and tenancy runs record no spans). Run binds the
+// tracer to the run's engine, so span IDs draw from that engine's own
+// deterministic ID sequence and the exported trace is byte-identical no
+// matter what else runs in the process. Like AttachSink it must be
+// called before Run and panics afterwards.
+func (s *Session) AttachTracer(tr *Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != sessionCreated {
+		panic("c4: Session.AttachTracer after Run")
+	}
+	if tr != nil {
+		s.tracer = tr
+	}
+}
+
 // Metrics returns the finished run's deterministic key numbers (nil
 // before Run completes). The map is a copy; callers may mutate it.
 func (s *Session) Metrics() map[string]float64 {
@@ -532,6 +551,10 @@ func (s *Session) runJob(ctx context.Context, sinks []TelemetrySink) (map[string
 	spec := topo.MultiJobTestbed(8)
 	spec.Nodes = 24 // 16 primaries + 8 spares
 	env := harness.NewEnv(spec)
+	if s.tracer != nil {
+		s.tracer.Bind(env.Eng)
+		env.Net.Trace = s.tracer
+	}
 	machines := cluster.NewCluster(16, 8, 8)
 
 	var nodes []int
@@ -590,7 +613,7 @@ func (s *Session) runJob(ctx context.Context, sinks []TelemetrySink) (map[string
 		QPsPerConn: 4,
 	}
 	if !jr.noC4D {
-		master = c4d.NewMaster(c4d.Config{})
+		master = c4d.NewMaster(c4d.Config{Trace: s.tracer})
 		fleet = c4d.NewFleet(env.Eng, master)
 		jobCfg.Sink = fleet
 	}
@@ -619,6 +642,7 @@ func (s *Session) runJob(ctx context.Context, sinks []TelemetrySink) (map[string
 			Engine: env.Eng, Cluster: machines,
 			IsolationDelay: 30 * sim.Second,
 			RestartDelay:   3 * sim.Minute,
+			Trace:          s.tracer,
 			Isolate: func(node int) {
 				logf("steering: isolating node %d, stopping job", node)
 				j.Stop()
@@ -639,6 +663,11 @@ func (s *Session) runJob(ctx context.Context, sinks []TelemetrySink) (map[string
 			rep := analyzer.Classify(ev)
 			top := rep.Top()
 			logf("RCA: most likely %v (%.0f%% confidence)", top.Kind, top.Confidence*100)
+			if tr := s.tracer; tr.Enabled() {
+				// Diagnosis hangs off the detection that triggered it.
+				tr.Event(tr.Mark("detect"), "rca", fmt.Sprintf("%v", top.Kind)).
+					Annotate("confidence", fmt.Sprintf("%.2f", top.Confidence))
+			}
 			if ev.Syndrome == c4d.CommHang || ev.Syndrome == c4d.NonCommHang {
 				svc.Handle(ev)
 			}
@@ -649,6 +678,14 @@ func (s *Session) runJob(ctx context.Context, sinks []TelemetrySink) (map[string
 
 	if jr.fault != "none" {
 		env.Eng.Schedule(jr.faultAt, func() {
+			if tr := s.tracer; tr.Enabled() {
+				// The session's injected fault persists until recovery, so
+				// its span stays open (exporters draw it to the horizon);
+				// the "fault" mark parents detect/steer spans under it.
+				sp := tr.Start(nil, "fault", jr.fault)
+				sp.Annotate("node", fmt.Sprintf("%d", jr.victim))
+				tr.SetMark("fault", sp)
+			}
 			switch jr.fault {
 			case "crash":
 				logf("FAULT: crashing worker process on node %d", jr.victim)
@@ -727,6 +764,10 @@ func (s *Session) runPlanned(ctx context.Context, sinks []TelemetrySink) (map[st
 	// scenarios sweep.
 	nodes := harness.InterleavedNodes(world)
 	env := harness.NewEnv(topo.MultiJobTestbed(8))
+	if s.tracer != nil {
+		s.tracer.Bind(env.Eng)
+		env.Net.Trace = s.tracer
+	}
 	spec := workload.JobSpec{
 		Name:                 jr.model.Name,
 		Model:                jr.model,

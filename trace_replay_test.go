@@ -1,0 +1,86 @@
+package c4_test
+
+// Determinism gate for the tracing plane: the exported Chrome trace of a
+// session must be byte-identical whether the session runs alone or next
+// to concurrent sibling sessions. Span IDs come from the session
+// engine's own ID sequence and timestamps are sim.Time, so nothing about
+// process scheduling may leak into the file.
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"sync"
+	"testing"
+
+	"c4"
+)
+
+// traceHash runs one session with a tracer attached and returns the
+// SHA-256 of its exported trace.
+func traceHash(t *testing.T, spec c4.SessionSpec) [sha256.Size]byte {
+	t.Helper()
+	sess, err := c4.NewSession(c4.SessionOptions{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	tr := c4.NewTracer()
+	sess.AttachTracer(tr)
+	if err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c4.WriteTrace(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans()) == 0 {
+		t.Fatal("trace is empty")
+	}
+	return sha256.Sum256(buf.Bytes())
+}
+
+// replaySpecs are the two traced modes: a planned 3D-parallelism run and
+// a job run exercising the fault → detect → steer causal chain.
+func replaySpecs() map[string]c4.SessionSpec {
+	return map[string]c4.SessionSpec{
+		"plan": {
+			Seed: 7,
+			Job:  &c4.SessionJob{Model: "gpt22b", Plan: "tp8/pp2/dp2/ga2", PlanIters: 2},
+		},
+		"job-crash": {
+			Seed: 7,
+			Job:  &c4.SessionJob{Model: "gpt22b", Fault: "crash", HorizonS: 120},
+		},
+	}
+}
+
+func TestTraceSerialParallelByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sessions")
+	}
+	for name, spec := range replaySpecs() {
+		t.Run(name, func(t *testing.T) {
+			serial := traceHash(t, spec)
+
+			// Re-run the same spec three times concurrently; every copy
+			// must export the identical bytes.
+			const copies = 3
+			hashes := make([][sha256.Size]byte, copies)
+			var wg sync.WaitGroup
+			for i := 0; i < copies; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					hashes[i] = traceHash(t, spec)
+				}(i)
+			}
+			wg.Wait()
+			for i, h := range hashes {
+				if h != serial {
+					t.Errorf("concurrent run %d exported a different trace than the serial run", i)
+				}
+			}
+		})
+	}
+}
