@@ -11,7 +11,8 @@ GO ?= go
 SHA := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
 .PHONY: all build vet c4vet lint fmt-check test test-race kernel-race \
-	tenancy-smoke telemetry-smoke plan-smoke serve-smoke trace-smoke docker \
+	tenancy-smoke telemetry-smoke plan-smoke serve-smoke trace-smoke \
+	campaign-smoke docker \
 	ci bench experiments bench-json bench-baseline bench-check cover clean
 
 all: ci
@@ -95,11 +96,26 @@ trace-smoke:
 	$(GO) run ./cmd/c4trace TRACE_smoke.json > /dev/null
 	@rm -f TRACE_smoke.json
 
+# The campaign-subsystem e2e: run the committed smoke manifest twice —
+# serially and as two shards with checkpoints — merge both paths and
+# require byte-identical reports (cmp), then validate with `c4campaign
+# check`. Proves the manifest/shard/merge determinism contract on every
+# CI push.
+campaign-smoke:
+	$(GO) run ./cmd/c4campaign run -manifest campaigns/smoke.json -out CAMP_serial.json
+	$(GO) run ./cmd/c4campaign run -manifest campaigns/smoke.json -shard 0/2 -checkpoint CAMP_s0.ckpt -out CAMP_p0.json
+	$(GO) run ./cmd/c4campaign run -manifest campaigns/smoke.json -shard 1/2 -checkpoint CAMP_s1.ckpt -out CAMP_p1.json
+	$(GO) run ./cmd/c4campaign merge -manifest campaigns/smoke.json -check -out CAMP_merged_serial.json CAMP_serial.json > /dev/null
+	$(GO) run ./cmd/c4campaign merge -manifest campaigns/smoke.json -check -out CAMP_merged.json CAMP_p0.json CAMP_p1.json > /dev/null
+	cmp CAMP_merged_serial.json CAMP_merged.json
+	$(GO) run ./cmd/c4campaign check -manifest campaigns/smoke.json CAMP_merged.json
+	@rm -f CAMP_serial.json CAMP_p0.json CAMP_p1.json CAMP_merged_serial.json CAMP_merged.json CAMP_s0.ckpt CAMP_s1.ckpt
+
 # Container image for the daemon (requires docker; CI runs it on push).
 docker:
 	docker build -t c4serve:$(SHA) .
 
-ci: lint build test test-race kernel-race tenancy-smoke telemetry-smoke plan-smoke serve-smoke trace-smoke
+ci: lint build test test-race kernel-race tenancy-smoke telemetry-smoke plan-smoke serve-smoke trace-smoke campaign-smoke
 
 # Microbenchmarks, including the incremental-vs-full-recompute pair
 # (internal/telemetry: BenchmarkIncrementalObserve vs
@@ -140,4 +156,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f cover.out BENCH_*.json TRACE_smoke.json
+	rm -f cover.out BENCH_*.json TRACE_smoke.json CAMP_*.json CAMP_*.ckpt

@@ -37,6 +37,7 @@ func main() {
 		list     = flag.Bool("list", false, "list registered scenarios and exit")
 		md       = flag.Bool("md", false, "emit the EXPERIMENTS.md paper-vs-measured table")
 		jsonOut  = flag.Bool("json", false, "emit the bench-regression JSON report of every tracked scenario")
+		shard    = flag.String("shard", "", "run one stride of the selection: \"i/n\" keeps scenarios with index ≡ i (mod n)")
 	)
 	flag.Parse()
 
@@ -72,6 +73,14 @@ func main() {
 		}
 		scns = tracked
 	}
+	if *shard != "" {
+		sharded, err := shardScenarios(scns, *shard)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "c4bench: %v\n", err)
+			os.Exit(2)
+		}
+		scns = sharded
+	}
 	runner := &scenario.Runner{Workers: *workers}
 	reports := runner.Run(context.Background(), *seed, scns)
 
@@ -93,6 +102,34 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c4bench: %d scenario(s) failed\n", failures)
 		os.Exit(1)
 	}
+}
+
+// shardScenarios keeps the stride i (mod n) of the selection — the same
+// protocol c4campaign shards use, so a CI matrix can split the registry
+// across jobs. The selection is sorted before striding (scenario.Select
+// returns registry order), making shard membership independent of how
+// the caller spelled the selection.
+func shardScenarios(scns []scenario.Scenario, spec string) ([]scenario.Scenario, error) {
+	var shard, of int
+	if _, err := fmt.Sscanf(spec, "%d/%d", &shard, &of); err != nil {
+		return nil, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/4)", spec)
+	}
+	if of < 1 || shard < 0 || shard >= of {
+		return nil, fmt.Errorf("bad -shard %q: want 0 <= i < n", spec)
+	}
+	sorted := make([]scenario.Scenario, len(scns))
+	copy(sorted, scns)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var mine []scenario.Scenario
+	for i, s := range sorted {
+		if i%of == shard {
+			mine = append(mine, s)
+		}
+	}
+	if len(mine) == 0 {
+		return nil, fmt.Errorf("-shard %s selects no scenarios (selection has %d)", spec, len(scns))
+	}
+	return mine, nil
 }
 
 // writeBenchJSON emits the deterministic baseline the regression guard
@@ -216,7 +253,16 @@ crosses the spines; packed = one leaf group, fabric-fault immune), fault
 start/duration, and per-kind severity. Campaign results aggregate into
 this table via the campaign/* rows above; machine-readable reports come
 from `+"`c4sim -campaign <name> -campaign-json DIR`"+` and the bench
-baseline from `+"`c4bench -json`"+`.`)
+baseline from `+"`c4bench -json`"+`.
+
+Beyond the fixed registry rows, manifest-driven campaigns
+(`+"`cmd/c4campaign`"+`, manifests in campaigns/) scale the sampled
+families to thousands of trials across seed ranges and knob grids,
+sharded over processes with a deterministic merge: the merged report adds
+across-trial mean/stddev and seeded bootstrap 95% confidence intervals on
+C4D precision/recall, RCA accuracy and the steering goodput delta, and a
+4-shard merge is byte-identical to a serial run (see README
+"Campaigns at scale").`)
 }
 
 // writeTenancyDocs documents the multi-tenant scenario family's engine and

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -72,5 +73,45 @@ func TestWriteMarkdown(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("markdown missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestShardScenarios pins the c4bench shard stride: sorted selection,
+// i-mod-n membership, exact partition across shards, and rejection of
+// malformed or empty shards.
+func TestShardScenarios(t *testing.T) {
+	scns, err := scenario.Select("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for i := 0; i < 3; i++ {
+		part, err := shardScenarios(scns, fmt.Sprintf("%d/3", i))
+		if err != nil {
+			t.Fatalf("shard %d/3: %v", i, err)
+		}
+		for _, s := range part {
+			seen[s.Name]++
+		}
+	}
+	if len(seen) != len(scns) {
+		t.Fatalf("3 shards cover %d scenarios, registry has %d", len(seen), len(scns))
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Fatalf("scenario %s owned by %d shards", name, n)
+		}
+	}
+	whole, err := shardScenarios(scns, "0/1")
+	if err != nil || len(whole) != len(scns) {
+		t.Fatalf("0/1 shard = %d scenarios, err %v", len(whole), err)
+	}
+	for _, bad := range []string{"x", "1/1", "-1/2", "3/2"} {
+		if _, err := shardScenarios(scns, bad); err == nil {
+			t.Errorf("shardScenarios(%q) accepted", bad)
+		}
+	}
+	if _, err := shardScenarios(scns[:1], "1/2"); err == nil {
+		t.Error("empty shard accepted")
 	}
 }

@@ -1,0 +1,278 @@
+// Command c4campaign drives manifest-defined Monte-Carlo campaigns at
+// scale: it expands a versioned JSON manifest (campaign families × seed
+// ranges × knob grids) into a numbered trial list, executes one shard's
+// stride of it with checkpointed resumability, and deterministically
+// merges shard partials into a single report with bootstrap confidence
+// intervals — byte-identical to a serial single-shard run.
+//
+// Subcommands:
+//
+//	c4campaign expand -manifest m.json              # print the trial list
+//	c4campaign run -manifest m.json -shard 0/4 \
+//	    -out p0.json -checkpoint p0.ckpt            # run one shard
+//	c4campaign merge -out merged.json p0.json ...   # reduce partials
+//	c4campaign check merged.json                    # validate a report
+//
+// Exit codes: 0 success, 1 runtime/validation failure, 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"c4/internal/campaign"
+	"c4/internal/metrics"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, `usage: c4campaign <expand|run|merge|check> [flags]
+
+  expand -manifest m.json
+      print the deterministic numbered trial list the manifest expands to
+  run -manifest m.json [-shard i/n] [-out file] [-checkpoint file] [-workers k]
+      execute one shard's trials and write its partial-result artifact
+  merge [-manifest m.json] [-out file] [-check] partial.json...
+      combine shard partials into the merged report (refuses hash
+      mismatches, duplicate trials and gaps)
+  check [-manifest m.json] merged.json
+      validate a merged report: coverage, ordering, finite statistics`)
+	return 2
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	if len(args) == 0 {
+		return usage(stderr)
+	}
+	switch args[0] {
+	case "expand":
+		return runExpand(stdout, stderr, args[1:])
+	case "run":
+		return runShard(stdout, stderr, args[1:])
+	case "merge":
+		return runMerge(stdout, stderr, args[1:])
+	case "check":
+		return runCheck(stdout, stderr, args[1:])
+	case "-h", "-help", "--help":
+		usage(stderr)
+		return 0
+	}
+	fmt.Fprintf(stderr, "c4campaign: unknown subcommand %q\n", args[0])
+	return usage(stderr)
+}
+
+// parseShard parses "i/n" shard coordinates.
+func parseShard(s string) (shard, of int, err error) {
+	if _, err := fmt.Sscanf(s, "%d/%d", &shard, &of); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/4)", s)
+	}
+	if of < 1 || shard < 0 || shard >= of {
+		return 0, 0, fmt.Errorf("bad -shard %q: want 0 <= i < n", s)
+	}
+	return shard, of, nil
+}
+
+func runExpand(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("c4campaign expand", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	manifest := fs.String("manifest", "", "experiment manifest (JSON)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *manifest == "" {
+		fmt.Fprintln(stderr, "c4campaign expand: -manifest is required")
+		return 2
+	}
+	m, err := campaign.LoadManifest(*manifest)
+	if err != nil {
+		fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+		return 1
+	}
+	specs, err := m.Expand()
+	if err != nil {
+		fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "manifest %s (%s): %d trials\n", m.Name, m.Hash(), len(specs))
+	rows := make([][]string, 0, len(specs))
+	for _, ts := range specs {
+		rows = append(rows, []string{
+			fmt.Sprint(ts.Index), ts.Family, fmt.Sprint(ts.Seed), ts.Knobs,
+			ts.Trial.ID, fmt.Sprint(ts.TrialSeed), ts.Horizon.String(),
+		})
+	}
+	fmt.Fprint(stdout, metrics.Table(
+		[]string{"index", "family", "seed", "knobs", "trial", "trial-seed", "horizon"}, rows))
+	return 0
+}
+
+func runShard(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("c4campaign run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		manifest   = fs.String("manifest", "", "experiment manifest (JSON)")
+		shard      = fs.String("shard", "0/1", "shard coordinates i/n: run trials with index ≡ i (mod n)")
+		out        = fs.String("out", "", "partial-result artifact path (default stdout)")
+		checkpoint = fs.String("checkpoint", "", "per-shard JSONL progress file; an interrupted run resumes from it, re-running only missing trials")
+		workers    = fs.Int("workers", 0, "concurrent trials (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *manifest == "" {
+		fmt.Fprintln(stderr, "c4campaign run: -manifest is required")
+		return 2
+	}
+	sh, of, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintf(stderr, "c4campaign run: %v\n", err)
+		return 2
+	}
+	m, err := campaign.LoadManifest(*manifest)
+	if err != nil {
+		fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+		return 1
+	}
+	sr := &campaign.ShardRun{
+		Manifest: m, Shard: sh, Of: of,
+		Workers: *workers, Checkpoint: *checkpoint, Log: stderr,
+	}
+	p, err := sr.Run()
+	if err != nil {
+		fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+		return 1
+	}
+	if err := writeArtifact(*out, stdout, p.WriteJSON); err != nil {
+		fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+		return 1
+	}
+	if *out != "" {
+		fmt.Fprintf(stdout, "shard %d/%d: %d trials -> %s\n", sh, of, len(p.Records), *out)
+	}
+	return 0
+}
+
+func runMerge(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("c4campaign merge", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		manifest = fs.String("manifest", "", "verify partials against this manifest's hash before merging (optional)")
+		out      = fs.String("out", "", "merged-report path (default stdout)")
+		check    = fs.Bool("check", false, "validate the merged report (coverage, ordering, finite statistics) and fail on violations")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "c4campaign merge: no partials given")
+		return 2
+	}
+	var partials []*campaign.Partial
+	for _, path := range fs.Args() {
+		p, err := campaign.LoadPartial(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+			return 1
+		}
+		partials = append(partials, p)
+	}
+	var merged *campaign.Merged
+	var err error
+	if *manifest != "" {
+		m, merr := campaign.LoadManifest(*manifest)
+		if merr != nil {
+			fmt.Fprintf(stderr, "c4campaign: %v\n", merr)
+			return 1
+		}
+		merged, err = campaign.MergeHash(m, partials)
+	} else {
+		merged, err = campaign.Merge(partials)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+		return 1
+	}
+	if *check {
+		if err := merged.Check(); err != nil {
+			fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+			return 1
+		}
+	}
+	if err := writeArtifact(*out, stdout, merged.WriteJSON); err != nil {
+		fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+		return 1
+	}
+	if *out != "" {
+		fmt.Fprint(stdout, merged.String())
+	}
+	return 0
+}
+
+func runCheck(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("c4campaign check", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	manifest := fs.String("manifest", "", "additionally require the report's manifest hash to match this manifest")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "c4campaign check: exactly one merged report expected")
+		return 2
+	}
+	merged, err := campaign.LoadMerged(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+		return 1
+	}
+	if *manifest != "" {
+		m, err := campaign.LoadManifest(*manifest)
+		if err != nil {
+			fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+			return 1
+		}
+		if h := m.Hash(); merged.ManifestHash != h {
+			fmt.Fprintf(stderr, "c4campaign: report ran manifest %s, not %s (%s)\n", merged.ManifestHash, h, m.Name)
+			return 1
+		}
+	}
+	if err := merged.Check(); err != nil {
+		fmt.Fprintf(stderr, "c4campaign: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s: OK (%d trials)\n%s", fs.Arg(0), merged.Trials, merged.String())
+	return 0
+}
+
+// writeArtifact writes via fn to path, or to fallback when path is
+// empty. Artifacts are written atomically enough for the smoke loop: a
+// temp file renamed into place, so a killed process never leaves a
+// half-written partial that a later merge would trust.
+func writeArtifact(path string, fallback io.Writer, fn func(io.Writer) error) error {
+	if path == "" {
+		return fn(fallback)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTinyManifest drops a fast two-trial manifest into dir.
+func writeTinyManifest(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "tiny.json")
+	const src = `{
+	  "version": 1, "name": "cli-tiny", "seed": 1,
+	  "entries": [{"family": "mixed", "trials": 2, "horizon_s": 90}]
+	}`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// exec drives the CLI entry point, returning exit code and both streams.
+func exec(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(&stdout, &stderr, args)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestUsageAndBadArgs(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"frobnicate"},
+		{"expand"},
+		{"run"},
+		{"run", "-manifest", "m.json", "-shard", "4/4"},
+		{"run", "-manifest", "m.json", "-shard", "banana"},
+		{"merge"},
+		{"check"},
+		{"check", "a.json", "b.json"},
+	}
+	for _, args := range cases {
+		if code, _, _ := exec(t, args...); code != 2 {
+			t.Errorf("c4campaign %v: exit %d, want usage error 2", args, code)
+		}
+	}
+	if code, _, _ := exec(t, "-h"); code != 0 {
+		t.Error("-h should exit 0")
+	}
+	if code, _, stderr := exec(t, "expand", "-manifest", "/nonexistent.json"); code != 1 || stderr == "" {
+		t.Errorf("missing manifest: exit %d, stderr %q", code, stderr)
+	}
+}
+
+func TestParseShard(t *testing.T) {
+	if s, n, err := parseShard("3/8"); err != nil || s != 3 || n != 8 {
+		t.Fatalf("parseShard(3/8) = %d, %d, %v", s, n, err)
+	}
+	for _, bad := range []string{"", "x", "1", "2/2", "-1/4", "0/0", "1/-2"} {
+		if _, _, err := parseShard(bad); err == nil {
+			t.Errorf("parseShard(%q) accepted", bad)
+		}
+	}
+}
+
+func TestExpandSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeTinyManifest(t, dir)
+	code, out, stderr := exec(t, "expand", "-manifest", manifest)
+	if code != 0 {
+		t.Fatalf("expand: exit %d, stderr %s", code, stderr)
+	}
+	for _, want := range []string{"cli-tiny", "sha256:", "2 trials", "mix-00", "mix-01"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("expand output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEndToEnd is the CLI-level mirror of the package determinism test:
+// run serially and sharded through the real subcommands, merge both, and
+// require byte-identical artifacts; then exercise the failure paths a
+// smoke loop depends on (gap refusal, resume, check).
+func TestEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	manifest := writeTinyManifest(t, dir)
+	serial := filepath.Join(dir, "serial.json")
+	p0 := filepath.Join(dir, "p0.json")
+	p1 := filepath.Join(dir, "p1.json")
+
+	if code, _, stderr := exec(t, "run", "-manifest", manifest, "-out", serial); code != 0 {
+		t.Fatalf("serial run: exit %d\n%s", code, stderr)
+	}
+	ckpt := filepath.Join(dir, "p0.ckpt")
+	if code, _, stderr := exec(t, "run", "-manifest", manifest, "-shard", "0/2", "-out", p0, "-checkpoint", ckpt); code != 0 {
+		t.Fatalf("shard 0/2: exit %d\n%s", code, stderr)
+	}
+	if code, _, stderr := exec(t, "run", "-manifest", manifest, "-shard", "1/2", "-out", p1); code != 0 {
+		t.Fatalf("shard 1/2: exit %d\n%s", code, stderr)
+	}
+
+	mergedSerial := filepath.Join(dir, "merged-serial.json")
+	mergedSharded := filepath.Join(dir, "merged-sharded.json")
+	if code, _, stderr := exec(t, "merge", "-manifest", manifest, "-check", "-out", mergedSerial, serial); code != 0 {
+		t.Fatalf("serial merge: exit %d\n%s", code, stderr)
+	}
+	if code, out, stderr := exec(t, "merge", "-manifest", manifest, "-check", "-out", mergedSharded, p1, p0); code != 0 {
+		t.Fatalf("sharded merge: exit %d\n%s", code, stderr)
+	} else if !strings.Contains(out, "aggregate:") {
+		t.Fatalf("merge summary missing aggregate line:\n%s", out)
+	}
+	a, err := os.ReadFile(mergedSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(mergedSharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("serial and sharded merges differ at the CLI level")
+	}
+
+	// A missing shard must fail the merge, not shrink the report.
+	if code, _, stderr := exec(t, "merge", "-out", filepath.Join(dir, "gap.json"), p0); code != 1 || !strings.Contains(stderr, "missing") {
+		t.Fatalf("gap merge: exit %d, stderr %s", code, stderr)
+	}
+
+	// Resume: re-running shard 0 against its complete checkpoint executes
+	// nothing and reproduces the artifact bytes.
+	p0resumed := filepath.Join(dir, "p0-resumed.json")
+	if code, _, stderr := exec(t, "run", "-manifest", manifest, "-shard", "0/2", "-out", p0resumed, "-checkpoint", ckpt); code != 0 {
+		t.Fatalf("resume run: exit %d\n%s", code, stderr)
+	} else if !strings.Contains(stderr, "0 to run") {
+		t.Fatalf("resume did not use the checkpoint:\n%s", stderr)
+	}
+	ra, _ := os.ReadFile(p0)
+	rb, _ := os.ReadFile(p0resumed)
+	if !bytes.Equal(ra, rb) {
+		t.Fatal("resumed shard artifact differs from the original")
+	}
+
+	if code, out, stderr := exec(t, "check", "-manifest", manifest, mergedSharded); code != 0 || !strings.Contains(out, "OK (2 trials)") {
+		t.Fatalf("check: exit %d\nstdout %s\nstderr %s", code, out, stderr)
+	}
+
+	// Checking against a different manifest must fail.
+	otherSrc, _ := os.ReadFile(manifest)
+	other := filepath.Join(dir, "other.json")
+	if err := os.WriteFile(other, bytes.Replace(otherSrc, []byte(`"seed": 1`), []byte(`"seed": 2`), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := exec(t, "check", "-manifest", other, mergedSharded); code != 1 {
+		t.Fatalf("cross-manifest check: exit %d, want 1", code)
+	}
+}

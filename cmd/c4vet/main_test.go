@@ -24,6 +24,7 @@ func TestSmokeKnownBadModule(t *testing.T) {
 		"[globalrand] math/rand.Intn outside internal/sim",
 		"[sinkerr] error result of Sink.Flush discarded",
 		"[ctxleak] context.Background() in a function that already has a Context (param ctx)",
+		"[timeconfuse] sim.Time(...) of a time.Duration reinterprets a span",
 		"[deprecated] use of deprecated NewSim: use OpenSim.",
 		"[allow] allow directive for \"wallclock\" has no reason",
 		"bad.go:",
@@ -58,7 +59,7 @@ func TestListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"mapiterfloat", "wallclock", "globalrand", "sinkerr", "ctxleak", "deprecated"} {
+	for _, name := range []string{"mapiterfloat", "wallclock", "globalrand", "sinkerr", "ctxleak", "timeconfuse", "deprecated"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list missing %s:\n%s", name, stdout.String())
 		}

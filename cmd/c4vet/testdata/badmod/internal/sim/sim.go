@@ -1,0 +1,14 @@
+// Package sim gives the smoke module a virtual-clock type so simcore
+// can commit the timeconfuse violation against it.
+package sim
+
+import "time"
+
+// Time is a virtual-clock instant in nanoseconds.
+type Time int64
+
+// Duration bridges a virtual instant to a wall span explicitly.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromDuration bridges a wall span to a virtual instant explicitly.
+func FromDuration(d time.Duration) Time { return Time(d) }

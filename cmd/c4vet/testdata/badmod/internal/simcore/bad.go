@@ -8,11 +8,18 @@ import (
 	"context"
 	"math/rand"
 	"time"
+
+	"badmod/internal/sim"
 )
 
 // Jitter draws from the process-global source and reads the wall clock.
 func Jitter() time.Duration {
 	return time.Duration(rand.Intn(int(time.Since(time.Now()))+1) + 1)
+}
+
+// Horizon reinterprets a wall span as a virtual-clock instant.
+func Horizon(d time.Duration) sim.Time {
+	return sim.Time(d)
 }
 
 // Sum folds floats in map iteration order.

@@ -78,6 +78,7 @@ func All() []*Analyzer {
 		GlobalRand,
 		SinkErr,
 		CtxLeak,
+		TimeConfuse,
 		Deprecated(),
 	}
 }

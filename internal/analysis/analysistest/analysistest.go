@@ -31,23 +31,49 @@ import (
 // globalrand) key off pkgPath, so fixtures choose it to opt in or out.
 func Run(t *testing.T, a *analysis.Analyzer, pkgPath string, fixtures ...string) {
 	t.Helper()
+	RunWithDeps(t, a, pkgPath, nil, fixtures...)
+}
+
+// Dep is one dependency fixture package for RunWithDeps: fixture files
+// type-checked under their own import path so the package under test can
+// import them. Listed deps may import earlier ones.
+type Dep struct {
+	Path  string
+	Files []string
+}
+
+// RunWithDeps is Run with dependency fixture packages, for analyzers
+// whose triggers are typed against another package's declarations (e.g.
+// timeconfuse keying off sim.Time). Only the package under test is
+// analyzed and only its fixtures carry // want annotations.
+func RunWithDeps(t *testing.T, a *analysis.Analyzer, pkgPath string, deps []Dep, fixtures ...string) {
+	t.Helper()
 	fset := token.NewFileSet()
-	var pkgs []*analysis.Package
-	var wants []*want
-	var srcs []analysis.FixtureFile
-	for _, fx := range fixtures {
-		path := filepath.Join("testdata", fx)
-		data, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatalf("reading fixture: %v", err)
+	readFixtures := func(names []string) []analysis.FixtureFile {
+		var srcs []analysis.FixtureFile
+		for _, fx := range names {
+			path := filepath.Join("testdata", fx)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading fixture: %v", err)
+			}
+			srcs = append(srcs, analysis.FixtureFile{Name: path, Src: string(data)})
 		}
-		srcs = append(srcs, analysis.FixtureFile{Name: path, Src: string(data)})
+		return srcs
 	}
-	pkg, err := analysis.CheckFixtureFiles(fset, pkgPath, srcs)
+	var fpkgs []analysis.FixturePkg
+	for _, d := range deps {
+		fpkgs = append(fpkgs, analysis.FixturePkg{Path: d.Path, Files: readFixtures(d.Files)})
+	}
+	srcs := readFixtures(fixtures)
+	fpkgs = append(fpkgs, analysis.FixturePkg{Path: pkgPath, Files: srcs})
+	checked, err := analysis.CheckFixtureModule(fset, fpkgs)
 	if err != nil {
 		t.Fatalf("type-checking fixtures for %s: %v", pkgPath, err)
 	}
-	pkgs = append(pkgs, pkg)
+	// Only the package under test is analyzed; deps exist for its types.
+	pkgs := checked[len(checked)-1:]
+	var wants []*want
 	for _, s := range srcs {
 		ws, err := parseWants(s.Name, s.Src)
 		if err != nil {

@@ -40,6 +40,16 @@ func TestGlobalRandExemptsSimPackage(t *testing.T) {
 	analysistest.Run(t, analysis.GlobalRand, "c4/internal/sim", "globalrand_sim.go")
 }
 
+func TestTimeConfuse(t *testing.T) {
+	analysistest.RunWithDeps(t, analysis.TimeConfuse, "c4/internal/fixture",
+		[]analysistest.Dep{{Path: "c4/internal/sim", Files: []string{"simdep/sim.go"}}},
+		"timeconfuse.go")
+}
+
+func TestTimeConfuseExemptsSimPackage(t *testing.T) {
+	analysistest.Run(t, analysis.TimeConfuse, "c4/internal/sim", "timeconfuse_sim.go")
+}
+
 func TestSinkErr(t *testing.T) {
 	analysistest.Run(t, analysis.SinkErr, "c4/internal/fixture", "sinkerr.go")
 }

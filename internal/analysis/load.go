@@ -127,6 +127,40 @@ func CheckFixtureFiles(fset *token.FileSet, path string, fixtures []FixtureFile)
 	return CheckFixtureFilesWithDeps(fset, path, fixtures, nil)
 }
 
+// FixturePkg is one fixture package of a multi-package fixture module.
+type FixturePkg struct {
+	Path  string
+	Files []FixtureFile
+}
+
+// CheckFixtureModule type-checks fixture packages in dependency order
+// with one shared importer, so a stdlib package referenced by several of
+// them resolves to the one *types.Package (two importer instances would
+// each load their own "time", and types from one are not assignable to
+// the other's). Later packages may import earlier ones.
+func CheckFixtureModule(fset *token.FileSet, fpkgs []FixturePkg) ([]*Package, error) {
+	build.Default.CgoEnabled = false
+	imp := &moduleImporter{loaded: map[string]*types.Package{}, fallback: importer.ForCompiler(fset, "source", nil)}
+	var out []*Package
+	for _, fp := range fpkgs {
+		var files []*ast.File
+		for _, fx := range fp.Files {
+			f, err := parser.ParseFile(fset, fx.Name, fx.Src, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		pkg, err := checkFiles(fset, fp.Path, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", fp.Path, err)
+		}
+		imp.loaded[fp.Path] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
 // CheckFixtureFilesWithDeps is CheckFixtureFiles with imports of the
 // given already-checked packages resolving to those results, so tests
 // can build multi-package fixtures (e.g. cross-package deprecation).

@@ -1,0 +1,19 @@
+// Package sim is the timeconfuse dependency fixture: the shape of the
+// real internal/sim clock API — the named instant type plus the two
+// sanctioned bridges — type-checked under the c4/internal/sim import
+// path so fixtures can trigger (and avoid) cross-type conversions.
+package sim
+
+import "time"
+
+// Time is a virtual-clock instant in nanoseconds since simulation start.
+type Time int64
+
+// Second is one virtual second.
+const Second Time = 1e9
+
+// Duration bridges a virtual instant to a wall span explicitly.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromDuration bridges a wall span to a virtual instant explicitly.
+func FromDuration(d time.Duration) Time { return Time(d) }

@@ -1,0 +1,37 @@
+package fixture
+
+import (
+	"time"
+
+	"c4/internal/sim"
+)
+
+// Deadline reinterprets an absolute virtual instant as a span.
+func Deadline(at sim.Time) time.Duration {
+	return time.Duration(at) // want `time.Duration\(\.\.\.\) of a sim.Time`
+}
+
+// Horizon reinterprets a span as an absolute virtual instant.
+func Horizon(d time.Duration) sim.Time {
+	return sim.Time(d) // want `sim.Time\(\.\.\.\) of a time.Duration`
+}
+
+// Nested conversions are findings at each confused layer.
+func RoundTrip(at sim.Time) sim.Time {
+	return sim.Time(time.Duration(at)) // want `sim.Time\(\.\.\.\) of a time.Duration` `time.Duration\(\.\.\.\) of a sim.Time`
+}
+
+// Bridged uses the sanctioned conversions: no findings.
+func Bridged(at sim.Time, d time.Duration) (time.Duration, sim.Time) {
+	return at.Duration(), sim.FromDuration(d)
+}
+
+// Raw conversions through the shared underlying type are out of scope:
+// the analyzer keys on the two named types, not on int64.
+func Raw(at sim.Time) int64 { return int64(at) }
+
+// Suppressed documents the allow path.
+func Suppressed(d time.Duration) sim.Time {
+	//c4vet:allow timeconfuse fixture: documents the suppression path
+	return sim.Time(d)
+}

@@ -1,0 +1,17 @@
+package sim
+
+import "time"
+
+// Checked under the internal/sim import path: the bridges themselves
+// live here, so bare conversions between the clock types are the
+// implementation, not a confusion.
+
+// Time mirrors the real virtual-clock type.
+type Time int64
+
+// Duration is the outbound bridge; its body is exactly the conversion
+// the analyzer flags everywhere else.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// FromDuration is the inbound bridge.
+func FromDuration(d time.Duration) Time { return Time(d) }

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TimeConfuse flags explicit conversions between sim.Time and
+// time.Duration inside internal/* simulation packages. Both types are
+// int64 nanoseconds, so the compiler happily converts one into the
+// other — but sim.Time is an absolute virtual-clock instant and
+// time.Duration a relative span, and a bare conversion silently turns
+// one into the other (scheduling an event "at 5s" instead of "5s from
+// now", or reporting an instant as an elapsed time). The sanctioned
+// bridges carry the intent: (sim.Time).Duration() for the outbound
+// direction and sim.FromDuration for the inbound one, both defined in
+// internal/sim — which is exactly why that package is exempt here.
+var TimeConfuse = &Analyzer{
+	Name: "timeconfuse",
+	Doc:  "bare sim.Time <-> time.Duration conversions; use (sim.Time).Duration() / sim.FromDuration so instant-vs-span intent stays visible",
+	Run:  runTimeConfuse,
+}
+
+func runTimeConfuse(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !isInternalPkg(path) || strings.HasSuffix(path, "internal/sim") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			// A CallExpr whose Fun denotes a type is a conversion.
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			target := tv.Type
+			operand := pass.TypesInfo.Types[call.Args[0]].Type
+			if operand == nil {
+				return true
+			}
+			switch {
+			case isDurationType(target) && isSimTime(operand):
+				pass.Reportf(call.Pos(),
+					"time.Duration(...) of a sim.Time reinterprets a virtual-clock instant as a span; use (sim.Time).Duration() to make the bridge explicit")
+			case isSimTime(target) && isDurationType(operand):
+				pass.Reportf(call.Pos(),
+					"sim.Time(...) of a time.Duration reinterprets a span as a virtual-clock instant; use sim.FromDuration to make the bridge explicit")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSimTime reports whether t is the sim virtual-clock type: a named
+// type Time declared in an internal/sim package.
+func isSimTime(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/sim")
+}
+
+// isDurationType reports whether t is package time's Duration.
+func isDurationType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}

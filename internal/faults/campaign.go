@@ -90,9 +90,32 @@ type Campaign struct {
 	// Gen produces the trial grid for a root seed. It must be
 	// deterministic in the seed.
 	Gen func(seed int64) []Trial
+	// GenN produces a trial list of a requested size for campaigns whose
+	// grid is sampled rather than enumerated (nil for fixed grid sweeps).
+	// It must be prefix-stable: GenN(seed, n)[:m] == GenN(seed, m) for
+	// m <= n, so a manifest scaling a campaign up only appends trials.
+	GenN func(seed int64, trials int) []Trial
+	// DefaultTrials is the sample count Gen draws when GenN is set; it
+	// preserves the historical trial count for registry runs and bench
+	// baselines while manifests request 10k+.
+	DefaultTrials int
 	// Check validates campaign-specific claims on the aggregate result
 	// (optional; generic sanity checks always run).
 	Check func(*Result) error
+}
+
+// Trials produces the campaign's trial list, overriding the sample count
+// when n > 0. Fixed-grid campaigns reject a count override: their trial
+// list is the enumerated sweep, not a sample size.
+func (c Campaign) Trials(seed int64, n int) ([]Trial, error) {
+	if n <= 0 {
+		return c.Gen(seed), nil
+	}
+	if c.GenN == nil {
+		return nil, fmt.Errorf("faults: campaign %s is a fixed grid of %d trials; it does not take a trial-count override",
+			c.Name, len(c.Gen(seed)))
+	}
+	return c.GenN(seed, n), nil
 }
 
 // Result is the aggregated campaign report. It implements
@@ -248,7 +271,7 @@ func (c Campaign) Run(seed int64, workers int) *Result {
 	panics := make([]any, len(trials))
 	scenario.ForEach(len(trials), workers, func(i int) {
 		defer func() { panics[i] = recover() }()
-		res.Trials[i] = RunTrial(trials[i], trialSeed(seed, i), c.Horizon)
+		res.Trials[i] = RunTrial(trials[i], TrialSeed(seed, i), c.Horizon)
 	})
 	for i, p := range panics {
 		if p != nil {
@@ -258,9 +281,12 @@ func (c Campaign) Run(seed int64, workers int) *Result {
 	return res
 }
 
-// trialSeed derives a per-trial root seed; trials must not share RNG
-// streams or equal-seeded trials would correlate.
-func trialSeed(seed int64, i int) int64 { return seed + int64(i+1)*1_000_003 }
+// TrialSeed derives the root seed for trial i of a campaign run from the
+// campaign seed; trials must not share RNG streams or equal-seeded trials
+// would correlate. External drivers (the sharded manifest runner) use the
+// same derivation so a shard executing trial i reproduces the exact bytes
+// an in-process campaign run would.
+func TrialSeed(seed int64, i int) int64 { return seed + int64(i+1)*1_000_003 }
 
 // RunTrial executes one trial's two arms and scores them.
 func RunTrial(tr Trial, seed int64, horizon sim.Time) TrialResult {

@@ -218,3 +218,46 @@ func TestMixedTrialSpecsValid(t *testing.T) {
 		}
 	}
 }
+
+// TestTrialsKnob pins the trial-count override: sampled families scale
+// up prefix-stably (the first k trials of a larger draw are the default
+// draw, so existing baselines never move), fixed grids refuse the knob.
+func TestTrialsKnob(t *testing.T) {
+	mixed, _ := ByName("mixed")
+	if mixed.GenN == nil || mixed.DefaultTrials != DefaultMixedTrials {
+		t.Fatalf("mixed: GenN=%v DefaultTrials=%d, want sampled family with default %d",
+			mixed.GenN != nil, mixed.DefaultTrials, DefaultMixedTrials)
+	}
+	def := mixed.Gen(3)
+	if len(def) != DefaultMixedTrials {
+		t.Fatalf("mixed default draw: %d trials, want %d", len(def), DefaultMixedTrials)
+	}
+	big, err := mixed.Trials(3, 20)
+	if err != nil {
+		t.Fatalf("Trials(3, 20): %v", err)
+	}
+	if len(big) != 20 {
+		t.Fatalf("Trials(3, 20): %d trials", len(big))
+	}
+	for i, tr := range def {
+		if big[i].ID != tr.ID || len(big[i].Specs) != len(tr.Specs) {
+			t.Fatalf("trial %d not prefix-stable: %q vs %q", i, big[i].ID, tr.ID)
+		}
+		for j := range tr.Specs {
+			if big[i].Specs[j] != tr.Specs[j] {
+				t.Fatalf("trial %d spec %d drifted under a larger draw", i, j)
+			}
+		}
+	}
+	if same, err := mixed.Trials(3, 0); err != nil || len(same) != DefaultMixedTrials {
+		t.Fatalf("Trials(3, 0) = %d trials, err %v; want the default draw", len(same), err)
+	}
+
+	fixed, _ := ByName("flap-sweep")
+	if _, err := fixed.Trials(1, 9); err == nil {
+		t.Fatal("fixed-grid family accepted a trial-count override")
+	}
+	if grid, err := fixed.Trials(1, 0); err != nil || len(grid) != len(fixed.Gen(1)) {
+		t.Fatalf("fixed-grid Trials(1, 0) = %d trials, err %v", len(grid), err)
+	}
+}

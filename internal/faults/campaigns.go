@@ -268,18 +268,25 @@ func stragglerSweep() Campaign {
 	}
 }
 
+// DefaultMixedTrials is the historical sample count of campaign/mixed:
+// the registry scenario and its bench baseline keep running 8 trials,
+// while manifests override the count through Campaign.Trials.
+const DefaultMixedTrials = 8
+
 // mixedMonteCarlo draws random fault cocktails — kind, victim, severity,
 // timing — from the trial seed: the Monte-Carlo sweep over the full model,
 // including overlapping faults of different kinds on shared components.
+// The generator is prefix-stable in the trial count: one RNG stream draws
+// trials in order, so requesting more trials only appends.
 func mixedMonteCarlo() Campaign {
-	return Campaign{
-		Name:        "mixed",
-		Description: "Monte-Carlo cocktails of 2-3 random overlapping faults per trial",
-		Paper:       "diagnosis and steering hold up under compound fault patterns",
-		Horizon:     campaignHorizon,
-		Gen: func(seed int64) []Trial {
+	c := Campaign{
+		Name:          "mixed",
+		Description:   "Monte-Carlo cocktails of 2-3 random overlapping faults per trial",
+		Paper:         "diagnosis and steering hold up under compound fault patterns",
+		Horizon:       campaignHorizon,
+		DefaultTrials: DefaultMixedTrials,
+		GenN: func(seed int64, trials int) []Trial {
 			r := sim.NewRand(seed*31 + 7)
-			const trials = 8
 			out := make([]Trial, 0, trials)
 			for i := 0; i < trials; i++ {
 				n := 2 + r.Intn(2)
@@ -338,4 +345,6 @@ func mixedMonteCarlo() Campaign {
 			return nil
 		},
 	}
+	c.Gen = func(seed int64) []Trial { return c.GenN(seed, c.DefaultTrials) }
+	return c
 }

@@ -1,0 +1,63 @@
+// Bootstrap confidence intervals for campaign statistics. A 10k-trial
+// Monte-Carlo sweep reports not just a mean goodput delta but how sure
+// the sweep is of it; the percentile bootstrap makes no distributional
+// assumption, which matters because per-trial deltas are multi-modal
+// (fault cocktails that steering can dodge vs ones it cannot).
+
+package metrics
+
+import (
+	"math"
+
+	"c4/internal/sim"
+)
+
+// BootstrapCI estimates a two-sided percentile-bootstrap confidence
+// interval for the mean of xs at the given confidence level (e.g. 0.95):
+// resamples bootstrap replicates are drawn with replacement from the
+// finite elements of xs using the seeded RNG, and the interval is the
+// (alpha/2, 1-alpha/2) percentile pair of the replicate means.
+//
+// Determinism contract: equal (xs, resamples, conf, seed of r) produce
+// bit-identical intervals — the RNG is the caller-seeded sim.Rand, the
+// resample loop is sequential, and the percentile is the deterministic
+// sorted-interpolation in Percentile. Campaign merge outputs are
+// byte-compared across shardings, so this function must never consult
+// any other entropy source.
+//
+// The NaN firewall mirrors MeanStd: non-finite inputs are dropped first.
+// Degenerate inputs collapse the interval: empty input yields (0, 0) and
+// a single sample yields (x, x). The RNG is consumed even for resamples
+// over degenerate input only when sampling actually happens, so callers
+// sharing one RNG across metrics must compute them in a fixed order.
+func BootstrapCI(xs []float64, resamples int, conf float64, r *sim.Rand) (lo, hi float64) {
+	var finite []float64
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		finite = append(finite, x)
+	}
+	if len(finite) == 0 {
+		return 0, 0
+	}
+	if len(finite) == 1 {
+		return finite[0], finite[0]
+	}
+	if resamples <= 0 {
+		resamples = 1000
+	}
+	if conf <= 0 || conf >= 1 {
+		conf = 0.95
+	}
+	means := make([]float64, resamples)
+	for i := range means {
+		var sum float64
+		for j := 0; j < len(finite); j++ {
+			sum += finite[r.Intn(len(finite))]
+		}
+		means[i] = sum / float64(len(finite))
+	}
+	alpha := (1 - conf) / 2
+	return Percentile(means, alpha*100), Percentile(means, (1-alpha)*100)
+}

@@ -175,6 +175,41 @@ func Ratio(num, den float64) float64 {
 	return num / den
 }
 
+// MeanStd reports the mean and population standard deviation over the
+// finite elements of xs, with the same NaN/Inf firewall as Jain and
+// Ratio: non-finite inputs (a ratio computed over a zero span upstream)
+// are skipped rather than poisoning both moments, because the output
+// lands in campaign summaries and `c4bench -json` baselines where NaN is
+// meaningless and unserializable. Empty (or all-non-finite) input yields
+// (0, 0); a single sample yields (x, 0).
+func MeanStd(xs []float64) (mean, std float64) {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		n++
+		sum += x
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	mean = sum / float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(n))
+}
+
 // Stddev reports the population standard deviation (0 when len < 2).
 func Stddev(xs []float64) float64 {
 	if len(xs) < 2 {
